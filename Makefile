@@ -1,0 +1,28 @@
+PYTHON ?= python
+
+.PHONY: install test test-all bench experiments experiments-paper examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+test-all:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments --out results/
+
+experiments-paper:
+	REPRO_SCALE=paper $(PYTHON) -m repro.experiments --out results/
+
+examples:
+	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``test_bench_fig*.py`` regenerates one of the paper's figures or
+tables: it runs the experiment under ``pytest-benchmark`` (one round —
+these are minutes-scale analyses, not microbenchmarks), asserts the
+paper's qualitative finding, prints the rows/series, and writes the
+rendering to ``results/``.
+
+Scale selection follows the experiment suite: ``REPRO_SCALE=paper``
+for full fault sets, default ``ci`` for the sampled profile.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the experiment campaign cache warm across benches in one session:
+# later figures reuse earlier campaigns exactly like the CLI runner does.
+from repro.experiments.config import get_scale
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _release_heavy_bdd_state():
+    """Free OBDD managers between benchmark modules.
+
+    Campaign *records* (plain fractions) stay cached across the whole
+    session, but the shared good-function tables pin multi-million-node
+    managers; one 15 GB box cannot hold every circuit's at once. The
+    scalar caches make re-deriving functions cheap when a later module
+    needs them again.
+    """
+    yield
+    import gc
+
+    from repro.experiments import campaigns
+
+    campaigns._functions_cache.clear()
+    gc.collect()
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Print an experiment's rendering and persist it under results/."""
+
+    def _publish(result) -> None:
+        rendered = result.render()
+        (results_dir / f"{result.exp_id}.txt").write_text(rendered + "\n")
+        print(f"\n{rendered}", file=sys.stderr)
+
+    return _publish

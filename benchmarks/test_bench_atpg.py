@@ -1,0 +1,97 @@
+"""Ablation — conventional ATPG (PODEM) vs. Difference Propagation.
+
+PODEM answers "give me one test" per fault; Difference Propagation
+answers "give me every test". This bench races them on identical
+collapsed-checkpoint fault lists so the cost of the stronger answer is
+measured. A correctness rider checks that every PODEM test lies inside
+the corresponding complete test set.
+"""
+
+import pytest
+
+from repro.atpg import Podem, PodemStatus
+from repro.benchcircuits import get_circuit
+from repro.core import DifferencePropagation
+from repro.core.symbolic import CircuitFunctions
+from repro.faults import collapsed_checkpoint_faults
+
+_CASES = ("c95", "alu181", "c432")
+_LIMIT = 100
+
+
+def _faults(circuit):
+    return collapsed_checkpoint_faults(circuit)[:_LIMIT]
+
+
+@pytest.mark.benchmark(group="atpg-ablation")
+@pytest.mark.parametrize("name", _CASES)
+def test_podem_one_test_per_fault(benchmark, name):
+    circuit = get_circuit(name)
+    podem = Podem(circuit)
+    faults = _faults(circuit)
+
+    def campaign():
+        found = 0
+        for fault in faults:
+            result = podem.generate(fault)
+            assert result.status is not PodemStatus.ABORTED
+            found += result.found
+        return found
+
+    assert benchmark(campaign) > 0
+
+
+@pytest.mark.benchmark(group="atpg-ablation")
+@pytest.mark.parametrize("name", _CASES)
+def test_dp_complete_test_sets(benchmark, name):
+    circuit = get_circuit(name)
+    engine = DifferencePropagation(circuit, functions=CircuitFunctions(circuit))
+    faults = _faults(circuit)
+
+    def campaign():
+        return sum(engine.analyze(f).is_detectable for f in faults)
+
+    assert benchmark(campaign) > 0
+
+
+@pytest.mark.benchmark(group="atpg-ablation")
+def test_podem_tests_lie_in_complete_test_sets(benchmark):
+    circuit = get_circuit("c95")
+    podem = Podem(circuit)
+    engine = DifferencePropagation(circuit)
+    faults = _faults(circuit)
+
+    def check():
+        for fault in faults:
+            result = podem.generate(fault)
+            analysis = engine.analyze(fault)
+            assert result.found == analysis.is_detectable
+            if result.found:
+                assert analysis.tests.evaluate(result.test)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="atpg-ablation")
+def test_atpg_flow_vs_dp_compaction(benchmark):
+    """Test-set size: the production flow vs. exact greedy covering.
+
+    DP's complete test sets allow globally informed vector choices, so
+    its compacted set should not be larger than the PODEM flow's.
+    """
+    from repro.atpg import run_atpg_flow
+    from repro.core.coverage import compact_test_set
+
+    circuit = get_circuit("alu181")
+    faults = collapsed_checkpoint_faults(circuit)
+
+    def both():
+        flow = run_atpg_flow(circuit, faults)
+        engine = DifferencePropagation(circuit)
+        compaction = compact_test_set(engine, faults)
+        return flow, compaction
+
+    flow, compaction = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert flow.coverage == 1.0
+    assert compaction.num_tests <= len(flow.tests)

@@ -1,0 +1,69 @@
+"""Ablation — Difference Propagation vs. symbolic fault simulation.
+
+The paper frames Difference Propagation as "similar in approach" to Cho
+& Bryant's symbolic fault simulation but propagating differences
+instead of complete faulty functions. This bench races the two engines
+on identical fault lists so the trade-off is measured, not asserted.
+"""
+
+import pytest
+
+from repro.benchcircuits import get_circuit
+from repro.core import DifferencePropagation, SymbolicFaultSimulator
+from repro.core.symbolic import CircuitFunctions
+from repro.faults import collapsed_checkpoint_faults
+
+_CASES = ("alu181", "c432")
+
+
+def _faults(circuit, limit=120):
+    faults = collapsed_checkpoint_faults(circuit)
+    return faults[:limit]
+
+
+@pytest.mark.benchmark(group="engine-ablation")
+@pytest.mark.parametrize("name", _CASES)
+def test_difference_propagation(benchmark, name):
+    circuit = get_circuit(name)
+    functions = CircuitFunctions(circuit)
+    engine = DifferencePropagation(circuit, functions=functions)
+    faults = _faults(circuit)
+
+    def campaign():
+        return sum(engine.analyze(f).is_detectable for f in faults)
+
+    detected = benchmark(campaign)
+    assert detected > 0
+
+
+@pytest.mark.benchmark(group="engine-ablation")
+@pytest.mark.parametrize("name", _CASES)
+def test_symbolic_fault_simulation(benchmark, name):
+    circuit = get_circuit(name)
+    functions = CircuitFunctions(circuit)
+    engine = SymbolicFaultSimulator(circuit, functions=functions)
+    faults = _faults(circuit)
+
+    def campaign():
+        return sum(engine.analyze(f).is_detectable for f in faults)
+
+    detected = benchmark(campaign)
+    assert detected > 0
+
+
+@pytest.mark.benchmark(group="engine-ablation")
+@pytest.mark.parametrize("name", _CASES)
+def test_engines_agree(benchmark, name):
+    """Correctness rider: identical test sets from both engines."""
+    circuit = get_circuit(name)
+    functions = CircuitFunctions(circuit)
+    dp = DifferencePropagation(circuit, functions=functions)
+    sim = SymbolicFaultSimulator(circuit, functions=functions)
+    faults = _faults(circuit, limit=40)
+
+    def compare():
+        return all(
+            dp.analyze(f).tests == sim.analyze(f).tests for f in faults
+        )
+
+    assert benchmark.pedantic(compare, rounds=1, iterations=1)

@@ -1,0 +1,57 @@
+"""Benches for the extension experiments (refs. [2], [3], and test sizing)."""
+
+import pytest
+
+from repro.experiments.ext_bf_coverage import run_ext_bf_coverage
+from repro.experiments.ext_multiple import run_ext_multiple
+from repro.experiments.ext_testlength import run_ext_testlength
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_multiple(benchmark, scale, publish):
+    result = benchmark.pedantic(
+        run_ext_multiple, args=(scale,), rounds=1, iterations=1
+    )
+    coverages = result.data["coverages"]
+    # Single-fault test sets cover the overwhelming majority of doubles.
+    assert all(v >= 0.95 for v in coverages.values()), coverages
+    publish(result)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_bf_coverage(benchmark, scale, publish):
+    result = benchmark.pedantic(
+        run_ext_bf_coverage, args=(scale,), rounds=1, iterations=1
+    )
+    coverages = result.data["coverages"]
+    every = [v for entry in coverages.values() for v in entry.values()]
+    assert all(v >= 0.9 for v in every), coverages
+    publish(result)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_testlength(benchmark, scale, publish):
+    result = benchmark.pedantic(
+        run_ext_testlength, args=(scale,), rounds=1, iterations=1
+    )
+    lengths = result.data["lengths"]
+    assert lengths
+    assert all(n >= 1 for n in lengths.values())
+    # The suite's large circuits need far longer random tests than C17.
+    assert max(lengths.values()) > 10 * lengths.get("c17", 1)
+    publish(result)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_scoap(benchmark, scale, publish):
+    from repro.experiments.ext_scoap import run_ext_scoap
+
+    result = benchmark.pedantic(
+        run_ext_scoap, args=(scale,), rounds=1, iterations=1
+    )
+    correlations = result.data["correlations"]
+    negative = sum(1 for rho in correlations.values() if rho < 0)
+    # The heuristic must anti-correlate with exact detectability on
+    # most circuits (tiny circuits can defeat the rank statistics).
+    assert negative >= len(correlations) - 2, correlations
+    publish(result)

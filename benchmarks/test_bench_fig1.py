@@ -1,0 +1,17 @@
+"""Bench F1 — stuck-at detectability histograms (C95, 74LS181)."""
+
+import pytest
+
+from repro.experiments.fig1 import run_fig1
+
+
+@pytest.mark.benchmark(group="paper-artifacts")
+def test_fig1(benchmark, scale, publish):
+    result = benchmark.pedantic(run_fig1, args=(scale,), rounds=1, iterations=1)
+    for name in ("c95", "alu181"):
+        info = result.data[name]
+        assert info["num_faults"] > 0
+        # Paper shape: the profiles live mostly below detectability 0.5.
+        low_mass = sum(info["histogram"].proportions[:10])
+        assert low_mass >= 0.6, f"{name}: unexpectedly easy fault population"
+    publish(result)

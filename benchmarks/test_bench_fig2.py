@@ -1,0 +1,32 @@
+"""Bench F2 — mean stuck-at detectability vs. netlist size.
+
+Shape checks, per the paper: the PO-normalized series decreases with
+circuit size (the raw series need not), and C1355 sits below C499
+despite computing the identical function.
+"""
+
+import pytest
+
+from repro.analysis.trends import is_monotone_decreasing
+from repro.experiments.fig2 import run_fig2
+
+
+@pytest.mark.benchmark(group="paper-artifacts")
+def test_fig2(benchmark, scale, publish):
+    result = benchmark.pedantic(run_fig2, args=(scale,), rounds=1, iterations=1)
+    points = result.data["points"]
+    assert len(points) == len(scale.circuits)
+
+    normalized = [p.normalized_detectability for p in points]
+    assert is_monotone_decreasing(normalized, slack=0.02), (
+        "PO-normalized detectability should fall with netlist size: "
+        + ", ".join(f"{p.circuit}={p.normalized_detectability:.4f}" for p in points)
+    )
+
+    by_name = {p.circuit: p for p in points}
+    if "c499" in by_name and "c1355" in by_name:
+        assert (
+            by_name["c1355"].normalized_detectability
+            < by_name["c499"].normalized_detectability
+        ), "same function, more gates must mean lower testability"
+    publish(result)

@@ -1,0 +1,23 @@
+"""Bench F4 — stuck-at adherence histogram (74LS181).
+
+Shape checks: adherence mass sits at low values, with a sharp local
+rise at adherence one (PO faults always adhere fully; an unexpectedly
+large share of internal faults do too).
+"""
+
+import pytest
+
+from repro.experiments.fig4 import run_fig4
+
+
+@pytest.mark.benchmark(group="paper-artifacts")
+def test_fig4(benchmark, scale, publish):
+    result = benchmark.pedantic(run_fig4, args=(scale,), rounds=1, iterations=1)
+    histogram = result.data["histogram"]
+    top = histogram.proportions[-1]
+    shoulder = histogram.proportions[-5:-1]
+    assert top > 0, "PO faults guarantee mass at adherence 1.0"
+    assert top > sum(shoulder) / len(shoulder), "no sharp rise at one"
+    # Most adherence mass is below 0.75 ("relatively low values").
+    assert sum(histogram.proportions[:15]) >= 0.5
+    publish(result)

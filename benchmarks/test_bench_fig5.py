@@ -1,0 +1,21 @@
+"""Bench F5 — proportions of AND/OR NFBFs with stuck-at behaviour.
+
+Shape checks: proportions are generally low (most bridging faults are
+NOT double stuck-ats — the functional echo of inductive fault
+analysis).
+"""
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+
+
+@pytest.mark.benchmark(group="paper-artifacts")
+def test_fig5(benchmark, scale, publish):
+    result = benchmark.pedantic(run_fig5, args=(scale,), rounds=1, iterations=1)
+    proportions = result.data["proportions"]
+    assert set(proportions) == set(scale.circuits)
+    every = [p for entry in proportions.values() for p in entry.values()]
+    assert max(every) <= 0.5, "stuck-at-equivalent bridges should be a minority"
+    assert sum(every) / len(every) <= 0.25, "proportions should be generally low"
+    publish(result)

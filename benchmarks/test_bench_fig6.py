@@ -1,0 +1,18 @@
+"""Bench F6 — bridging-fault detectability histograms (C95).
+
+Shape check: the AND and OR profiles are "very nearly the same" —
+dominance hardly matters for detectability.
+"""
+
+import pytest
+
+from repro.experiments.fig6 import run_fig6
+
+
+@pytest.mark.benchmark(group="paper-artifacts")
+def test_fig6(benchmark, scale, publish):
+    result = benchmark.pedantic(run_fig6, args=(scale,), rounds=1, iterations=1)
+    means = result.data["means"]
+    assert abs(means["AND"] - means["OR"]) < 0.1
+    assert result.data["l1"] < 0.6
+    publish(result)

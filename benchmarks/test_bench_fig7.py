@@ -1,0 +1,25 @@
+"""Bench F7 — mean bridging detectability vs. netlist size.
+
+Shape checks: bridging means sit at or slightly above the stuck-at
+means on most circuits, and the PO-normalized bridging series still
+decreases with size.
+"""
+
+import pytest
+
+from repro.analysis.trends import is_monotone_decreasing
+from repro.experiments.fig7 import run_fig7
+
+
+@pytest.mark.benchmark(group="paper-artifacts")
+def test_fig7(benchmark, scale, publish):
+    result = benchmark.pedantic(run_fig7, args=(scale,), rounds=1, iterations=1)
+    points = result.data["points"]
+    stuck = result.data["stuck_means"]
+    above = sum(
+        1 for p in points if p.mean_detectability >= stuck[p.circuit] - 0.05
+    )
+    assert above >= len(points) - 1, "bridging means should not trail stuck-at"
+    normalized = [p.normalized_detectability for p in points]
+    assert is_monotone_decreasing(normalized, slack=0.03)
+    publish(result)

@@ -1,0 +1,14 @@
+"""Bench F8 — bridging detectability vs. max levels to PO (C1355)."""
+
+import pytest
+
+from repro.experiments.fig8 import run_fig8
+
+
+@pytest.mark.benchmark(group="paper-artifacts")
+def test_fig8(benchmark, scale, publish):
+    result = benchmark.pedantic(run_fig8, args=(scale,), rounds=1, iterations=1)
+    assert len(result.data["profile"].distances) >= 3
+    # Bridging bathtub by distance tertiles.
+    assert result.data["bathtub"], result.data["tertiles"]
+    publish(result)

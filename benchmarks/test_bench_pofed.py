@@ -1,0 +1,20 @@
+"""Bench X1 — POs fed vs. POs observable (§4.1).
+
+Shape check: the structural and functional counts agree for the great
+majority of detectable faults — "almost always the same".
+"""
+
+import pytest
+
+from repro.experiments.pofed import run_pofed
+
+
+@pytest.mark.benchmark(group="paper-artifacts")
+def test_pofed(benchmark, scale, publish):
+    result = benchmark.pedantic(run_pofed, args=(scale,), rounds=1, iterations=1)
+    fractions = result.data["fractions"]
+    assert set(fractions) == set(scale.circuits)
+    assert all(f >= 0.7 for f in fractions.values()), fractions
+    mean = sum(fractions.values()) / len(fractions)
+    assert mean >= 0.85
+    publish(result)

@@ -1,0 +1,73 @@
+"""Substrate micro-benchmarks: OBDD engine and baseline simulators.
+
+These quantify the claim structure of the paper's §3: functional
+(OBDD) analysis versus exhaustive simulation. On the small circuits
+exhaustive simulation wins; the OBDD route is what still works when
+2^n explodes — the benchmark on C432 (36 inputs) only runs the OBDD
+side, because the exhaustive side cannot exist there at all.
+"""
+
+import pytest
+
+from repro.benchcircuits import get_circuit
+from repro.core import DifferencePropagation
+from repro.core.symbolic import CircuitFunctions
+from repro.faults import collapsed_checkpoint_faults
+from repro.simulation import RandomPatternSimulator, TruthTableSimulator
+
+
+@pytest.mark.benchmark(group="good-functions")
+@pytest.mark.parametrize("name", ["alu181", "c432", "c499"])
+def test_build_good_functions(benchmark, name):
+    circuit = get_circuit(name)
+    functions = benchmark(lambda: CircuitFunctions(circuit))
+    assert functions.is_exact
+
+
+@pytest.mark.benchmark(group="exhaustive-vs-obdd")
+def test_exhaustive_simulation_alu(benchmark):
+    circuit = get_circuit("alu181")
+    simulator = TruthTableSimulator(circuit)
+    faults = collapsed_checkpoint_faults(circuit)[:60]
+
+    def campaign():
+        return sum(1 for f in faults if simulator.is_detectable(f))
+
+    assert benchmark(campaign) > 0
+
+
+@pytest.mark.benchmark(group="exhaustive-vs-obdd")
+def test_difference_propagation_alu(benchmark):
+    circuit = get_circuit("alu181")
+    engine = DifferencePropagation(circuit)
+    faults = collapsed_checkpoint_faults(circuit)[:60]
+
+    def campaign():
+        return sum(1 for f in faults if engine.analyze(f).is_detectable)
+
+    assert benchmark(campaign) > 0
+
+
+@pytest.mark.benchmark(group="exhaustive-vs-obdd")
+def test_difference_propagation_c432_where_exhaustive_cannot(benchmark):
+    """36 inputs: exhaustive simulation needs 2^36-bit words; DP just runs."""
+    circuit = get_circuit("c432")
+    engine = DifferencePropagation(circuit)
+    faults = collapsed_checkpoint_faults(circuit)[:60]
+
+    def campaign():
+        return sum(1 for f in faults if engine.analyze(f).is_detectable)
+
+    assert benchmark(campaign) > 0
+
+
+@pytest.mark.benchmark(group="monte-carlo")
+def test_random_pattern_simulation_c432(benchmark):
+    circuit = get_circuit("c432")
+    simulator = RandomPatternSimulator(circuit, num_patterns=1024, seed=0)
+    faults = collapsed_checkpoint_faults(circuit)[:60]
+
+    def campaign():
+        return sum(1 for f in faults if simulator.detection_word(f))
+
+    assert benchmark(campaign) > 0

@@ -1,0 +1,14 @@
+"""Bench T1 — validate and print the paper's Table 1."""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+
+
+@pytest.mark.benchmark(group="paper-artifacts")
+def test_table1(benchmark, scale, publish):
+    result = benchmark.pedantic(
+        run_table1, args=(scale,), kwargs={"trials": 150}, rounds=1, iterations=1
+    )
+    assert result.data["failures"] == 0
+    publish(result)

@@ -1,0 +1,104 @@
+"""repro — exact fault-model analysis via Difference Propagation.
+
+A from-scratch reproduction of Butler & Mercer, *"The Influences of
+Fault Type and Topology on Fault Model Performance and the Implications
+to Test and Testable Design"* (DAC 1990): ROBDD-based **Difference
+Propagation** computing complete test sets, exact detectabilities,
+syndromes and adherences for stuck-at and two-wire bridging faults in
+combinational circuits.
+
+Typical usage::
+
+    from repro import (
+        get_circuit, DifferencePropagation, collapsed_checkpoint_faults,
+    )
+    circuit = get_circuit("alu181")
+    engine = DifferencePropagation(circuit)
+    for fault in collapsed_checkpoint_faults(circuit):
+        analysis = engine.analyze(fault)
+        print(fault, float(analysis.detectability))
+
+Package map:
+
+* :mod:`repro.bdd` — the ROBDD engine;
+* :mod:`repro.circuit` — gate-level netlists, ``.bench`` I/O,
+  transforms and the pseudo-layout estimator;
+* :mod:`repro.benchcircuits` — the paper's benchmark suite;
+* :mod:`repro.faults` — checkpoint stuck-at and bridging fault models;
+* :mod:`repro.simulation` — exhaustive / Monte-Carlo baselines;
+* :mod:`repro.core` — Difference Propagation, fault metrics, test
+  compaction, redundancy classification;
+* :mod:`repro.atpg` — the conventional PODEM ATPG baseline;
+* :mod:`repro.analysis` — campaign statistics;
+* :mod:`repro.experiments` — table/figure regeneration.
+"""
+
+from repro.atpg import Podem, PodemResult, PodemStatus
+from repro.bdd import BDDManager, Function
+from repro.benchcircuits import get_circuit, paper_suite
+from repro.circuit import (
+    Circuit,
+    CircuitBuilder,
+    GateType,
+    parse_bench,
+    parse_bench_file,
+    write_bench,
+)
+from repro.core import (
+    CircuitFunctions,
+    DifferencePropagation,
+    FaultAnalysis,
+    SymbolicFaultSimulator,
+    adherence,
+    detectability_upper_bound,
+    is_stuck_at_equivalent,
+)
+from repro.faults import (
+    BridgeKind,
+    BridgingFault,
+    Line,
+    MultipleStuckAtFault,
+    StuckAtFault,
+    checkpoint_faults,
+    collapsed_checkpoint_faults,
+    enumerate_nfbfs,
+    sample_bridging_faults,
+)
+from repro.simulation import RandomPatternSimulator, TruthTableSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Podem",
+    "PodemResult",
+    "PodemStatus",
+    "BDDManager",
+    "Function",
+    "Circuit",
+    "CircuitBuilder",
+    "GateType",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "get_circuit",
+    "paper_suite",
+    "Line",
+    "StuckAtFault",
+    "MultipleStuckAtFault",
+    "BridgeKind",
+    "BridgingFault",
+    "checkpoint_faults",
+    "collapsed_checkpoint_faults",
+    "enumerate_nfbfs",
+    "sample_bridging_faults",
+    "TruthTableSimulator",
+    "RandomPatternSimulator",
+    "CircuitFunctions",
+    "DifferencePropagation",
+    "SymbolicFaultSimulator",
+    "FaultAnalysis",
+    "adherence",
+    "detectability_upper_bound",
+    "is_stuck_at_equivalent",
+]

@@ -1,0 +1,71 @@
+"""Statistical analyses over fault campaigns (the paper's §4 machinery).
+
+* :mod:`~repro.analysis.histograms` — proportion histograms of
+  detectability and adherence (Figs. 1, 4, 6);
+* :mod:`~repro.analysis.trends` — mean detectability, raw and
+  PO-normalized, versus netlist size (Figs. 2, 7);
+* :mod:`~repro.analysis.topology` — detectability versus distance to
+  the primary outputs / inputs (Figs. 3, 8, and the controllability-
+  versus-observability comparison);
+* :mod:`~repro.analysis.observability` — POs fed versus POs at which a
+  fault is observable (§4.1's justification heuristic);
+* :mod:`~repro.analysis.stuckat_equivalence` — proportions of bridging
+  faults with stuck-at behaviour (Fig. 5);
+* :mod:`~repro.analysis.report` — plain-text tables and bar charts so
+  every experiment can print the paper's rows and series.
+"""
+
+from repro.analysis.histograms import Histogram, proportion_histogram
+from repro.analysis.trends import TrendPoint, detectability_trend
+from repro.analysis.topology import (
+    DistanceProfile,
+    detectability_vs_pi_distance,
+    detectability_vs_po_distance,
+    fault_site_nets,
+    tertile_bathtub,
+)
+from repro.analysis.observability import ObservabilityRecord, po_fed_vs_observable
+from repro.analysis.stuckat_equivalence import stuck_at_equivalent_proportion
+from repro.analysis.report import render_histogram, render_series, render_table
+from repro.analysis.dictionary import DictionaryEntry, FaultDictionary
+from repro.analysis.scoap import ScoapMeasures, compute_scoap
+from repro.analysis.dft import (
+    ObservationPointPlan,
+    insert_observation_points,
+    mean_detectability_gain,
+    recommend_observation_points,
+)
+from repro.analysis.syndrome_testing import (
+    SyndromeShift,
+    syndrome_shift,
+    syndrome_untestable_faults,
+)
+
+__all__ = [
+    "Histogram",
+    "proportion_histogram",
+    "TrendPoint",
+    "detectability_trend",
+    "DistanceProfile",
+    "detectability_vs_pi_distance",
+    "detectability_vs_po_distance",
+    "fault_site_nets",
+    "tertile_bathtub",
+    "ObservabilityRecord",
+    "po_fed_vs_observable",
+    "stuck_at_equivalent_proportion",
+    "render_histogram",
+    "render_series",
+    "render_table",
+    "DictionaryEntry",
+    "FaultDictionary",
+    "ScoapMeasures",
+    "compute_scoap",
+    "ObservationPointPlan",
+    "recommend_observation_points",
+    "insert_observation_points",
+    "mean_detectability_gain",
+    "SyndromeShift",
+    "syndrome_shift",
+    "syndrome_untestable_faults",
+]

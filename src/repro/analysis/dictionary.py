@@ -1,0 +1,117 @@
+"""Fault dictionaries and response-based diagnosis.
+
+The "implications to test" side of the paper: once complete test sets
+and per-PO difference functions are exact, a *fault dictionary* — the
+map from (vector, observed failing POs) to candidate faults — can be
+built without any fault simulation. Given a tester's observed failures
+the dictionary returns the consistent fault candidates, with the usual
+full-response and pass/fail flavours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.engine import DifferencePropagation
+from repro.core.metrics import Fault
+
+
+@dataclass(frozen=True)
+class DictionaryEntry:
+    """Expected failing POs of one fault under one test vector."""
+
+    fault: Fault
+    failing_pos: frozenset[str]
+
+
+class FaultDictionary:
+    """Exact full-response fault dictionary over a fixed vector set.
+
+    For every (fault, vector) pair the failing POs are read off the
+    fault's per-PO difference functions: PO *p* fails under vector *v*
+    iff ``Δf_p(v) = 1``.
+    """
+
+    def __init__(
+        self,
+        engine: DifferencePropagation,
+        faults: Sequence[Fault],
+        tests: Sequence[Mapping[str, bool]],
+    ) -> None:
+        self.tests = [dict(t) for t in tests]
+        self.faults = list(faults)
+        # signature[fault] = tuple over vectors of failing-PO frozensets
+        self._signatures: dict[Fault, tuple[frozenset[str], ...]] = {}
+        for fault in faults:
+            analysis = engine.analyze(fault)
+            signature = []
+            for vector in self.tests:
+                failing = frozenset(
+                    po
+                    for po, delta in analysis.po_deltas.items()
+                    if delta.evaluate(vector)
+                )
+                signature.append(failing)
+            self._signatures[fault] = tuple(signature)
+
+    def signature(self, fault: Fault) -> tuple[frozenset[str], ...]:
+        return self._signatures[fault]
+
+    def expected_failures(self, fault: Fault) -> list[DictionaryEntry]:
+        return [
+            DictionaryEntry(fault, failing)
+            for failing in self._signatures[fault]
+        ]
+
+    # ------------------------------------------------------------------
+    # Diagnosis
+    # ------------------------------------------------------------------
+    def diagnose(
+        self, observed: Sequence[Iterable[str]]
+    ) -> list[Fault]:
+        """Faults whose full response matches the observation exactly.
+
+        ``observed[i]`` is the set of POs that failed under vector *i*.
+        """
+        if len(observed) != len(self.tests):
+            raise ValueError(
+                f"observation has {len(observed)} responses for "
+                f"{len(self.tests)} vectors"
+            )
+        target = tuple(frozenset(o) for o in observed)
+        return [
+            fault
+            for fault, signature in self._signatures.items()
+            if signature == target
+        ]
+
+    def diagnose_pass_fail(self, failed_vectors: Iterable[int]) -> list[Fault]:
+        """Pass/fail diagnosis: only which vectors failed is known."""
+        failed = set(failed_vectors)
+        if failed and (min(failed) < 0 or max(failed) >= len(self.tests)):
+            raise ValueError("failed vector index out of range")
+        candidates = []
+        for fault, signature in self._signatures.items():
+            fails = {i for i, pos in enumerate(signature) if pos}
+            if fails == failed:
+                candidates.append(fault)
+        return candidates
+
+    def distinguishable_pairs(self) -> int:
+        """Fault pairs the dictionary separates (distinct signatures)."""
+        signatures = list(self._signatures.values())
+        total = 0
+        for i, sig_a in enumerate(signatures):
+            for sig_b in signatures[i + 1 :]:
+                if sig_a != sig_b:
+                    total += 1
+        return total
+
+    def diagnostic_resolution(self) -> float:
+        """Fraction of fault pairs distinguished (1.0 = full resolution)."""
+        n = len(self._signatures)
+        pairs = n * (n - 1) // 2
+        if pairs == 0:
+            return 1.0
+        return self.distinguishable_pairs() / pairs

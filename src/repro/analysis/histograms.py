@@ -1,0 +1,68 @@
+"""Proportion histograms over [0, 1]-valued fault statistics.
+
+The paper reports detectability and adherence profiles as histograms
+normalized to the fault-set size — "instead of reporting raw numbers of
+faults, we normalized the fault counts to the fault set size".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Equal-width bins over [0, 1] with proportions summing to 1.
+
+    The final bin is closed on both sides so a value of exactly 1.0
+    (e.g. adherence of a PO fault) lands in it.
+    """
+
+    edges: tuple[float, ...]  # len = bins + 1
+    proportions: tuple[float, ...]  # len = bins
+    sample_size: int
+
+    @property
+    def num_bins(self) -> int:
+        return len(self.proportions)
+
+    def centers(self) -> tuple[float, ...]:
+        return tuple(
+            (self.edges[i] + self.edges[i + 1]) / 2 for i in range(self.num_bins)
+        )
+
+    def bin_of(self, value: float) -> int:
+        """Index of the bin containing ``value``."""
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"histogram values must lie in [0, 1], got {value}")
+        index = int(value * self.num_bins)
+        return min(index, self.num_bins - 1)
+
+    def mode(self) -> float:
+        """Center of the most populated bin."""
+        best = max(range(self.num_bins), key=lambda i: self.proportions[i])
+        return self.centers()[best]
+
+
+def proportion_histogram(
+    values: Sequence[float | Fraction], bins: int = 20
+) -> Histogram:
+    """Histogram of ``values`` with proportions relative to ``len(values)``.
+
+    An empty sample yields all-zero proportions (callers typically plot
+    several circuits side by side, some of which may have empty strata).
+    """
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    counts = [0] * bins
+    for value in values:
+        value = float(value)
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"histogram values must lie in [0, 1], got {value}")
+        counts[min(int(value * bins), bins - 1)] += 1
+    total = len(values)
+    proportions = tuple(c / total if total else 0.0 for c in counts)
+    edges = tuple(i / bins for i in range(bins + 1))
+    return Histogram(edges=edges, proportions=proportions, sample_size=total)

@@ -1,0 +1,60 @@
+"""Plain-text rendering of tables, histograms and series.
+
+Every experiment prints its figure/table through these helpers so the
+benchmark harness output can be compared side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.histograms import Histogram
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_histogram(histogram: Histogram, width: int = 40, title: str = "") -> str:
+    """Horizontal bar chart, one row per bin."""
+    lines = [title] if title else []
+    peak = max(histogram.proportions, default=0.0)
+    scale = width / peak if peak > 0 else 0.0
+    for i, proportion in enumerate(histogram.proportions):
+        lo, hi = histogram.edges[i], histogram.edges[i + 1]
+        bar = "#" * round(proportion * scale)
+        lines.append(f"[{lo:4.2f},{hi:4.2f})  {proportion:6.3f}  {bar}")
+    lines.append(f"(n = {histogram.sample_size})")
+    return "\n".join(lines)
+
+
+def render_series(
+    xs: Sequence[object],
+    ys: Sequence[float],
+    x_label: str,
+    y_label: str,
+    width: int = 40,
+) -> str:
+    """One bar per (x, y) point — the paper's line plots as text."""
+    lines = [f"{x_label} -> {y_label}"]
+    peak = max(ys, default=0.0)
+    scale = width / peak if peak > 0 else 0.0
+    x_width = max((len(str(x)) for x in xs), default=1)
+    for x, y in zip(xs, ys):
+        bar = "*" * round(y * scale)
+        lines.append(f"{str(x).rjust(x_width)}  {y:8.4f}  {bar}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

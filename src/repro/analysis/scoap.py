@@ -1,0 +1,135 @@
+"""SCOAP testability measures (Goldstein 1979).
+
+The classic *heuristic* controllability/observability estimates that
+deterministic testability analysis used before (and alongside) exact
+methods:
+
+* ``CC0(net)`` / ``CC1(net)`` — combinational 0-/1-controllability:
+  the minimum number of line assignments needed to set the net (≥ 1);
+* ``CO(net)`` — combinational observability: assignments needed to
+  propagate the net to a primary output (0 at a PO).
+
+The paper studies how detectability relates to topology; SCOAP is the
+industry-standard proxy for the same intuition, so the extension
+experiment ``ext_scoap`` correlates these heuristics against the exact
+detectabilities Difference Propagation produces — quantifying how much
+the cheap estimate misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+#: A very large finite stand-in for "uncontrollable/unobservable".
+INFINITY = 10**9
+
+
+@dataclass(frozen=True)
+class ScoapMeasures:
+    """SCOAP numbers for every net of one circuit."""
+
+    cc0: Mapping[str, int]
+    cc1: Mapping[str, int]
+    co: Mapping[str, int]
+
+    def controllability(self, net: str, value: bool) -> int:
+        return self.cc1[net] if value else self.cc0[net]
+
+    def fault_difficulty(self, net: str, stuck_value: bool) -> int:
+        """SCOAP cost of testing ``net`` stuck-at ``stuck_value``:
+        control the opposite value and observe the net."""
+        return self.controllability(net, not stuck_value) + self.co[net]
+
+
+def compute_scoap(circuit: Circuit) -> ScoapMeasures:
+    """Standard one-pass-forward, one-pass-backward SCOAP computation."""
+    cc0: dict[str, int] = {}
+    cc1: dict[str, int] = {}
+    for net in circuit.inputs:
+        cc0[net] = 1
+        cc1[net] = 1
+    for gate in circuit.gates():
+        cc0[gate.name], cc1[gate.name] = _gate_controllability(
+            gate.gate_type, [(cc0[f], cc1[f]) for f in gate.fanins]
+        )
+
+    co: dict[str, int] = {net: INFINITY for net in circuit.nets}
+    for po in circuit.outputs:
+        co[po] = 0
+    # Reverse topological sweep: a net's observability goes through its
+    # cheapest fanout path.
+    for net in reversed(list(circuit.nets)):
+        for sink, pin in circuit.fanouts(net):
+            gate = circuit.gate(sink)
+            through = co[sink]
+            if through >= INFINITY:
+                continue
+            side = _side_input_cost(
+                gate.gate_type,
+                [(cc0[f], cc1[f]) for f in gate.fanins],
+                pin,
+            )
+            co[net] = min(co[net], through + side + 1)
+    return ScoapMeasures(cc0=cc0, cc1=cc1, co=co)
+
+
+def _gate_controllability(
+    gate_type: GateType, fanins: list[tuple[int, int]]
+) -> tuple[int, int]:
+    """(CC0, CC1) of a gate output from its fanins' (CC0, CC1)."""
+    if gate_type is GateType.CONST0:
+        return (1, INFINITY)
+    if gate_type is GateType.CONST1:
+        return (INFINITY, 1)
+    if gate_type is GateType.BUF:
+        c0, c1 = fanins[0]
+        return (c0 + 1, c1 + 1)
+    if gate_type is GateType.NOT:
+        c0, c1 = fanins[0]
+        return (c1 + 1, c0 + 1)
+    zeros = [c0 for c0, _c1 in fanins]
+    ones = [c1 for _c0, c1 in fanins]
+    if gate_type in (GateType.AND, GateType.NAND):
+        base0 = min(zeros) + 1  # one controlling 0 suffices
+        base1 = sum(ones) + 1  # every input must be 1
+    elif gate_type in (GateType.OR, GateType.NOR):
+        base0 = sum(zeros) + 1
+        base1 = min(ones) + 1
+    else:  # XOR family: cheapest parity assignment
+        base0, base1 = _xor_controllability(fanins)
+    if gate_type.is_inverting:
+        return (base1, base0)
+    return (base0, base1)
+
+
+def _xor_controllability(fanins: list[tuple[int, int]]) -> tuple[int, int]:
+    """DP over inputs: cheapest cost to reach even/odd parity."""
+    even, odd = 0, INFINITY
+    for c0, c1 in fanins:
+        new_even = min(even + c0, odd + c1)
+        new_odd = min(even + c1, odd + c0)
+        even, odd = new_even, new_odd
+    return (min(even + 1, INFINITY), min(odd + 1, INFINITY))
+
+
+def _side_input_cost(
+    gate_type: GateType, fanins: list[tuple[int, int]], pin: int
+) -> int:
+    """Cost of setting the *other* inputs to propagate through ``pin``."""
+    total = 0
+    for index, (c0, c1) in enumerate(fanins):
+        if index == pin:
+            continue
+        if gate_type in (GateType.AND, GateType.NAND):
+            total += c1  # side inputs at non-controlling 1
+        elif gate_type in (GateType.OR, GateType.NOR):
+            total += c0
+        else:  # XOR family: either value propagates; pick the cheaper
+            total += min(c0, c1)
+        if total >= INFINITY:
+            return INFINITY
+    return total

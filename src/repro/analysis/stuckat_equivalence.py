@@ -1,0 +1,62 @@
+"""Proportion of bridging faults exhibiting stuck-at behaviour (Fig. 5).
+
+Inductive fault analysis showed physically extracted bridging defects
+rarely map onto stuck-at faults; the paper corroborates this from a
+purely functional standpoint by counting, per circuit and bridge
+dominance, the NFBFs whose bridged function is constant (a double
+stuck-at). The proportions are "generally low", and circuits with many
+stuck-at-like AND bridges tend to have few stuck-at-like OR bridges
+and vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.metrics import is_stuck_at_equivalent
+from repro.core.symbolic import CircuitFunctions
+from repro.faults.bridging import BridgeKind, BridgingFault
+
+
+@dataclass(frozen=True)
+class EquivalenceCount:
+    """Stuck-at-equivalent counts for one circuit and bridge kind."""
+
+    circuit: str
+    kind: BridgeKind
+    total: int
+    stuck_at_equivalent: int
+
+    @property
+    def proportion(self) -> float:
+        return self.stuck_at_equivalent / self.total if self.total else 0.0
+
+
+def stuck_at_equivalent_proportion(
+    functions: CircuitFunctions, faults: Iterable[BridgingFault]
+) -> EquivalenceCount:
+    """Count the stuck-at-equivalent bridges among ``faults``.
+
+    All faults must share one bridge kind (mixing kinds in one count
+    would blur the AND/OR contrast the figure is about).
+    """
+    total = 0
+    equivalent = 0
+    kind: BridgeKind | None = None
+    for fault in faults:
+        if kind is None:
+            kind = fault.kind
+        elif fault.kind is not kind:
+            raise ValueError("mixed bridge kinds in one equivalence count")
+        total += 1
+        if is_stuck_at_equivalent(functions, fault):
+            equivalent += 1
+    if kind is None:
+        raise ValueError("empty fault set")
+    return EquivalenceCount(
+        circuit=functions.circuit.name,
+        kind=kind,
+        total=total,
+        stuck_at_equivalent=equivalent,
+    )

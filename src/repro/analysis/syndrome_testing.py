@@ -1,0 +1,69 @@
+"""Syndrome testability (Savir, IEEE ToC 1980 — the paper's ref. [11]).
+
+Syndrome testing observes only the *count* of ones a circuit output
+produces over all input vectors: a fault is syndrome-detectable at a
+PO iff it changes that output's syndrome. With Difference Propagation
+the question is exact: the faulty function at PO *p* is
+``F_p = f_p ⊕ Δf_p``, so the syndrome shift is
+
+    ``S(F_p) − S(f_p) = [|Δf_p ∧ ¬f_p| − |Δf_p ∧ f_p|] / 2^n``
+
+(a fault flips 0→1 where Δ holds off the function and 1→0 where Δ
+overlaps it). A detectable fault whose shifts cancel at *every* output
+is invisible to syndrome testing — the circuits where that never
+happens are *syndrome-testable* designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable
+
+from repro.core.metrics import Fault, FaultAnalysis
+from repro.core.symbolic import CircuitFunctions
+
+
+@dataclass(frozen=True)
+class SyndromeShift:
+    """One fault's syndrome change per observable primary output."""
+
+    fault: Fault
+    shifts: dict[str, Fraction]
+
+    @property
+    def syndrome_detectable(self) -> bool:
+        """Some PO count changes under the fault."""
+        return any(shift != 0 for shift in self.shifts.values())
+
+
+def syndrome_shift(
+    functions: CircuitFunctions, analysis: FaultAnalysis
+) -> SyndromeShift:
+    """Exact syndrome shifts of a fault at every observable output."""
+    shifts: dict[str, Fraction] = {}
+    total = Fraction(1, 1 << functions.num_vars)
+    for po, delta in analysis.po_deltas.items():
+        good = functions.function(po)
+        gained = (delta & ~good).satcount()
+        lost = (delta & good).satcount()
+        shifts[po] = (gained - lost) * total
+    return SyndromeShift(fault=analysis.fault, shifts=shifts)
+
+
+def syndrome_untestable_faults(
+    functions: CircuitFunctions, analyses: Iterable[FaultAnalysis]
+) -> list[Fault]:
+    """Detectable faults invisible to syndrome testing.
+
+    These are the faults that force extra design effort in Savir's
+    methodology; an empty result means the circuit is syndrome-testable
+    with respect to the analyzed fault set.
+    """
+    invisible: list[Fault] = []
+    for analysis in analyses:
+        if not analysis.is_detectable:
+            continue
+        if not syndrome_shift(functions, analysis).syndrome_detectable:
+            invisible.append(analysis.fault)
+    return invisible

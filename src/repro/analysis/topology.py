@@ -1,0 +1,181 @@
+"""Detectability versus fault-site topology (Figs. 3 and 8).
+
+The paper buckets faults by the *maximum* number of gate levels from
+the fault site to any primary output it reaches, and plots the mean
+detectability per bucket — producing "bathtub" curves: faults near the
+PIs (controllable) and near the POs (observable) are easy, the circuit
+center is hard. The companion PI-distance profile is the paper's
+evidence that observability correlates with detectability better than
+controllability does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.core.metrics import Fault
+from repro.faults.bridging import BridgingFault
+from repro.faults.multiple import MultipleStuckAtFault
+from repro.faults.stuck_at import StuckAtFault
+
+
+@dataclass(frozen=True)
+class DistanceProfile:
+    """Mean detectability per integer distance bucket."""
+
+    distances: tuple[int, ...]
+    means: tuple[float, ...]
+    counts: tuple[int, ...]
+
+    def as_rows(self) -> list[tuple[int, float, int]]:
+        return list(zip(self.distances, self.means, self.counts))
+
+    def filtered(self, min_count: int) -> "DistanceProfile":
+        """Drop buckets holding fewer than ``min_count`` faults.
+
+        Sampled campaigns leave some distance bands nearly empty; their
+        means are noise and shape checks should ignore them.
+        """
+        kept = [
+            i for i, count in enumerate(self.counts) if count >= min_count
+        ]
+        return DistanceProfile(
+            distances=tuple(self.distances[i] for i in kept),
+            means=tuple(self.means[i] for i in kept),
+            counts=tuple(self.counts[i] for i in kept),
+        )
+
+    def center_minimum(self, min_count: int = 1) -> bool:
+        """Bathtub check: is some interior bucket below both endpoints?"""
+        profile = self.filtered(min_count) if min_count > 1 else self
+        if len(profile.means) < 3:
+            return False
+        interior = min(profile.means[1:-1])
+        return interior <= profile.means[0] and interior <= profile.means[-1]
+
+
+def fault_site_nets(fault: Fault) -> tuple[str, ...]:
+    """The net(s) a fault lives on (two for a bridge, many for a multiple)."""
+    if isinstance(fault, StuckAtFault):
+        return (fault.line.net,)
+    if isinstance(fault, BridgingFault):
+        return fault.nets
+    if isinstance(fault, MultipleStuckAtFault):
+        return tuple(line.net for line in fault.lines())
+    raise TypeError(f"unsupported fault type {type(fault).__name__}")
+
+
+def _site_distance(fault: Fault, distance: Mapping[str, int]) -> int | None:
+    """Max levels-to-PO over the fault's site nets (None if unobservable)."""
+    values = [distance[n] for n in fault_site_nets(fault) if n in distance]
+    return max(values) if values else None
+
+
+def detectability_vs_po_distance(
+    circuit: Circuit,
+    results: Iterable[tuple[Fault, Fraction | float]],
+) -> DistanceProfile:
+    """Mean detectability bucketed by max levels to any reachable PO.
+
+    For bridging faults the farther wire's distance is used — the
+    difference must traverse at least that much logic. Faults whose
+    site reaches no PO are skipped (structurally unobservable).
+    """
+    return _profile(results, circuit.levels_to_po())
+
+
+def detectability_vs_pi_distance(
+    circuit: Circuit,
+    results: Iterable[tuple[Fault, Fraction | float]],
+) -> DistanceProfile:
+    """Mean detectability bucketed by the fault site's level (PI distance)."""
+    return _profile(results, circuit.levels())
+
+
+def _profile(
+    results: Iterable[tuple[Fault, Fraction | float]],
+    distance: Mapping[str, int],
+) -> DistanceProfile:
+    sums: dict[int, float] = {}
+    counts: dict[int, int] = {}
+    for fault, detectability in results:
+        bucket = _site_distance(fault, distance)
+        if bucket is None:
+            continue
+        sums[bucket] = sums.get(bucket, 0.0) + float(detectability)
+        counts[bucket] = counts.get(bucket, 0) + 1
+    buckets = sorted(sums)
+    return DistanceProfile(
+        distances=tuple(buckets),
+        means=tuple(sums[b] / counts[b] for b in buckets),
+        counts=tuple(counts[b] for b in buckets),
+    )
+
+
+def tertile_bathtub(
+    circuit: Circuit,
+    results: Iterable[tuple[Fault, Fraction | float]],
+) -> tuple[float, float, float, bool]:
+    """Bucketing-free bathtub check over PO-distance tertiles.
+
+    Faults are split into three equal-width distance bands (near-PO /
+    center / near-PI); returns the three band means and whether the
+    center mean is below both outer means — the paper's "both highly
+    controllable and highly observable faults are more easily detected
+    than those near the center", robust to sparse distance buckets.
+    """
+    distance = circuit.levels_to_po()
+    pairs = [
+        (distance[n], float(d))
+        for f, d in results
+        for n in [max(fault_site_nets(f), key=lambda net: distance.get(net, -1))]
+        if n in distance
+    ]
+    if not pairs:
+        return (0.0, 0.0, 0.0, False)
+    largest = max(d for d, _v in pairs)
+    if largest < 2:
+        return (0.0, 0.0, 0.0, False)
+    bands: tuple[list[float], list[float], list[float]] = ([], [], [])
+    for d, value in pairs:
+        index = min(2, int(3 * d / (largest + 1)))
+        bands[index].append(value)
+    means = tuple(
+        sum(band) / len(band) if band else 0.0 for band in bands
+    )
+    holds = (
+        all(bands)
+        and means[1] < means[0]
+        and means[1] < means[2]
+    )
+    return (means[0], means[1], means[2], bool(holds))
+
+
+def profile_spread(profile: DistanceProfile) -> float:
+    """Max minus min of the bucket means — a crude randomness measure.
+
+    The paper observes PI-distance plots are "much more random" than
+    PO-distance plots; comparing correlation is done in the experiment
+    module, this helper just exposes the range.
+    """
+    if not profile.means:
+        return 0.0
+    return max(profile.means) - min(profile.means)
+
+
+def correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation (0.0 for degenerate inputs)."""
+    n = len(xs)
+    if n < 2 or n != len(ys):
+        return 0.0
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    syy = sum((y - my) ** 2 for y in ys)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    if sxx == 0 or syy == 0:
+        return 0.0
+    return sxy / (sxx * syy) ** 0.5

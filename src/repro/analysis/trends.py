@@ -1,0 +1,70 @@
+"""Mean-detectability trends versus netlist size (Figs. 2 and 7).
+
+The paper's key observation: the raw mean detectability of detectable
+faults "does not reveal a true trend", because PO counts do not grow
+proportionally with PI counts across the suite; dividing the mean by
+the number of primary outputs exposes the decrease of testability with
+circuit size — including the C499→C1355 pair, identical functions with
+different gate counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.circuit.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One circuit's entry in a detectability-versus-size series."""
+
+    circuit: str
+    netlist_size: int
+    num_outputs: int
+    num_faults: int
+    num_detectable: int
+    mean_detectability: float
+    #: mean detectability of detectable faults divided by the PO count
+    normalized_detectability: float
+
+    @property
+    def detectable_fraction(self) -> float:
+        return self.num_detectable / self.num_faults if self.num_faults else 0.0
+
+
+def trend_point(
+    circuit: Circuit, detectabilities: Sequence[Fraction | float]
+) -> TrendPoint:
+    """Summarize one circuit's campaign (zero entries = undetectable)."""
+    detectable = [float(d) for d in detectabilities if d > 0]
+    mean = sum(detectable) / len(detectable) if detectable else 0.0
+    return TrendPoint(
+        circuit=circuit.name,
+        netlist_size=circuit.netlist_size,
+        num_outputs=circuit.num_outputs,
+        num_faults=len(detectabilities),
+        num_detectable=len(detectable),
+        mean_detectability=mean,
+        normalized_detectability=mean / circuit.num_outputs,
+    )
+
+
+def detectability_trend(
+    campaigns: Iterable[tuple[Circuit, Sequence[Fraction | float]]],
+) -> list[TrendPoint]:
+    """Trend points for several circuits, ordered by netlist size."""
+    points = [trend_point(circuit, dets) for circuit, dets in campaigns]
+    points.sort(key=lambda p: p.netlist_size)
+    return points
+
+
+def is_monotone_decreasing(values: Sequence[float], slack: float = 0.0) -> bool:
+    """True if each value is below the previous one (within ``slack``).
+
+    Used by the experiment assertions: the *normalized* series should
+    trend downward with circuit size, the paper's central claim.
+    """
+    return all(b <= a + slack for a, b in zip(values, values[1:]))

@@ -1,0 +1,39 @@
+"""Conventional structural ATPG — the baseline Difference Propagation
+is contrasted with.
+
+The paper positions Difference Propagation against "conventional ATPG
+systems" that chase one test at a time through the netlist. This
+package implements the classic of that family, **PODEM** (Goel 1981):
+path-oriented decision making with backtrace, implication, D-frontier
+and X-path checking, complete for single stuck-at faults.
+
+The two approaches answer different questions — PODEM finds *one* test
+(or proves redundancy); Difference Propagation derives the *complete*
+test set — and the benchmark suite races them on identical fault lists
+(``benchmarks/test_bench_atpg.py``).
+
+>>> from repro.atpg import Podem
+>>> from repro.benchcircuits import get_circuit
+>>> from repro.faults import Line, StuckAtFault
+>>> podem = Podem(get_circuit("c17"))
+>>> result = podem.generate(StuckAtFault(Line("G10"), True))
+>>> result.status.value
+'test-found'
+"""
+
+from repro.atpg.values import Value3, and3, or3, xor3, not3
+from repro.atpg.podem import Podem, PodemResult, PodemStatus
+from repro.atpg.flow import AtpgFlowResult, run_atpg_flow
+
+__all__ = [
+    "Value3",
+    "and3",
+    "or3",
+    "xor3",
+    "not3",
+    "Podem",
+    "PodemResult",
+    "PodemStatus",
+    "AtpgFlowResult",
+    "run_atpg_flow",
+]

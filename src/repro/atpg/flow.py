@@ -1,0 +1,84 @@
+"""The classic ATPG production flow: generate, fault-simulate, drop.
+
+One PODEM call per *remaining* fault, with every generated vector
+fault-simulated against the rest of the fault list so detected faults
+are dropped without their own generation run — the loop every
+deterministic test generator of the era ran. The dropping pass uses
+deductive fault simulation (one sweep per vector covers the whole
+fault list), which is the pairing the two algorithms were invented
+for. Works on circuits of any input count — the regime where
+exhaustive methods cannot follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.atpg.podem import Podem, PodemStatus
+from repro.circuit.netlist import Circuit
+from repro.faults.stuck_at import StuckAtFault
+from repro.simulation.deductive import DeductiveFaultSimulator
+
+
+@dataclass(frozen=True)
+class AtpgFlowResult:
+    """Outcome of a full test-generation run."""
+
+    tests: tuple[dict[str, bool], ...]
+    detected: tuple[StuckAtFault, ...]
+    redundant: tuple[StuckAtFault, ...]
+    aborted: tuple[StuckAtFault, ...]
+    generation_calls: int
+
+    @property
+    def coverage(self) -> float:
+        """Detected over (detected + aborted) — redundant faults excluded."""
+        total = len(self.detected) + len(self.aborted)
+        return len(self.detected) / total if total else 1.0
+
+
+def run_atpg_flow(
+    circuit: Circuit,
+    faults: Sequence[StuckAtFault],
+    backtrack_limit: int = 100_000,
+) -> AtpgFlowResult:
+    """Generate a detecting test set for ``faults`` with PODEM + drop."""
+    podem = Podem(circuit, backtrack_limit=backtrack_limit)
+    simulator = DeductiveFaultSimulator(circuit, faults)
+    pending = list(faults)
+    tests: list[dict[str, bool]] = []
+    detected: list[StuckAtFault] = []
+    redundant: list[StuckAtFault] = []
+    aborted: list[StuckAtFault] = []
+    calls = 0
+    while pending:
+        target = pending.pop(0)
+        result = podem.generate(target)
+        calls += 1
+        if result.status is PodemStatus.UNDETECTABLE:
+            redundant.append(target)
+            continue
+        if result.status is PodemStatus.ABORTED:
+            aborted.append(target)
+            continue
+        assert result.test is not None
+        tests.append(result.test)
+        detected.append(target)
+        # Deductively fault-simulate the new vector: one sweep yields
+        # everything it detects, and those faults are dropped.
+        dropped = simulator.detected(result.test)
+        still_pending = []
+        for fault in pending:
+            if fault in dropped:
+                detected.append(fault)
+            else:
+                still_pending.append(fault)
+        pending = still_pending
+    return AtpgFlowResult(
+        tests=tuple(tests),
+        detected=tuple(detected),
+        redundant=tuple(redundant),
+        aborted=tuple(aborted),
+        generation_calls=calls,
+    )

@@ -1,0 +1,277 @@
+"""PODEM — path-oriented decision making (Goel, 1981).
+
+The conventional one-test-at-a-time ATPG baseline. The search assigns
+primary inputs only (the defining PODEM idea): each decision is found
+by *backtracing* an objective from inside the circuit to an unassigned
+PI, implications are computed by two-plane three-valued simulation, and
+exhausted decisions backtrack chronologically. Complete for single
+stuck-at faults: with an unbounded backtrack limit, ``UNDETECTABLE``
+is a proof of redundancy.
+
+Supports the same stem/branch fault sites as the rest of the library,
+so PODEM and Difference Propagation can be raced on identical fault
+lists (see ``benchmarks/test_bench_atpg.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.atpg.values import Value3, eval_gate3, not3
+from repro.faults.stuck_at import StuckAtFault
+
+
+class PodemStatus(enum.Enum):
+    TEST_FOUND = "test-found"
+    UNDETECTABLE = "undetectable"
+    ABORTED = "aborted"  # backtrack limit hit; detectability unknown
+
+
+@dataclass(frozen=True)
+class PodemResult:
+    """Outcome of one test-generation run."""
+
+    status: PodemStatus
+    test: dict[str, bool] | None
+    decisions: int
+    backtracks: int
+
+    @property
+    def found(self) -> bool:
+        return self.status is PodemStatus.TEST_FOUND
+
+
+@dataclass
+class _State:
+    """Two-plane simulation snapshot under a partial PI assignment."""
+
+    good: dict[str, Value3]
+    faulty: dict[str, Value3]
+
+    def discrepant(self, net: str) -> bool:
+        g, f = self.good[net], self.faulty[net]
+        return g is not Value3.X and f is not Value3.X and g is not f
+
+    def unknown(self, net: str) -> bool:
+        return self.good[net] is Value3.X or self.faulty[net] is Value3.X
+
+
+class Podem:
+    """Test generator for single stuck-at faults on one circuit."""
+
+    def __init__(self, circuit: Circuit, backtrack_limit: int = 100_000) -> None:
+        self.circuit = circuit
+        self.backtrack_limit = backtrack_limit
+        self._gates = list(circuit.gates())
+        # Guidance: prefer driving objectives toward close POs.
+        self._po_distance = circuit.levels_to_po()
+
+    # ------------------------------------------------------------------
+    def generate(self, fault: StuckAtFault) -> PodemResult:
+        """Find one test for ``fault``, or prove it undetectable."""
+        if not isinstance(fault, StuckAtFault):
+            raise TypeError("PODEM handles single stuck-at faults")
+        fault.line.validate(self.circuit)
+        assignment: dict[str, bool] = {}
+        decisions: list[list] = []  # [pi, value, alternative_tried]
+        backtracks = 0
+        num_decisions = 0
+
+        while True:
+            state = self._simulate(assignment, fault)
+            outcome = self._check(state, fault)
+            if outcome == "success":
+                test = {net: assignment.get(net, False) for net in self.circuit.inputs}
+                return PodemResult(
+                    PodemStatus.TEST_FOUND, test, num_decisions, backtracks
+                )
+            objective = None
+            if outcome == "continue":
+                objective = self._objective(state, fault)
+            decision = None
+            if objective is not None:
+                decision = self._backtrace(objective, state)
+            if decision is None and outcome == "continue":
+                # Completeness guard: the objective heuristics can fail
+                # to name a PI even though free inputs remain relevant
+                # (e.g. a side input whose *faulty* plane is unknown);
+                # fall back to any unassigned PI so the decision tree
+                # still exhausts the search space.
+                decision = self._any_free_input(state)
+            if decision is not None:
+                pi, value = decision
+                assignment[pi] = value
+                decisions.append([pi, value, False])
+                num_decisions += 1
+                continue
+            # Dead end: flip the most recent untried decision.
+            while decisions:
+                entry = decisions[-1]
+                if not entry[2]:
+                    entry[1] = not entry[1]
+                    entry[2] = True
+                    assignment[entry[0]] = entry[1]
+                    break
+                decisions.pop()
+                del assignment[entry[0]]
+            else:
+                return PodemResult(
+                    PodemStatus.UNDETECTABLE, None, num_decisions, backtracks
+                )
+            backtracks += 1
+            if backtracks > self.backtrack_limit:
+                return PodemResult(
+                    PodemStatus.ABORTED, None, num_decisions, backtracks
+                )
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def _simulate(self, assignment: dict[str, bool], fault: StuckAtFault) -> _State:
+        good: dict[str, Value3] = {}
+        faulty: dict[str, Value3] = {}
+        site = fault.line
+        stuck = Value3.of(fault.value)
+        for net in self.circuit.inputs:
+            value = (
+                Value3.of(assignment[net]) if net in assignment else Value3.X
+            )
+            good[net] = value
+            faulty[net] = stuck if site.is_stem and site.net == net else value
+        for gate in self._gates:
+            good_ins = [good[f] for f in gate.fanins]
+            good[gate.name] = eval_gate3(gate.gate_type, good_ins)
+            faulty_ins = []
+            for pin, fanin in enumerate(gate.fanins):
+                if site.is_branch and site.sink == gate.name and site.pin == pin:
+                    faulty_ins.append(stuck)
+                else:
+                    faulty_ins.append(faulty[fanin])
+            value = eval_gate3(gate.gate_type, faulty_ins)
+            if site.is_stem and site.net == gate.name:
+                value = stuck
+            faulty[gate.name] = value
+        return _State(good, faulty)
+
+    # ------------------------------------------------------------------
+    # Search guidance
+    # ------------------------------------------------------------------
+    def _check(self, state: _State, fault: StuckAtFault) -> str:
+        """'success', 'continue', or 'failed' for the current assignment."""
+        if any(state.discrepant(po) for po in self.circuit.outputs):
+            return "success"
+        site_good = state.good[fault.line.net]
+        required = not3(Value3.of(fault.value))
+        if site_good is not Value3.X and site_good is not required:
+            return "failed"  # fault can no longer be activated
+        if site_good is required:
+            frontier = self._d_frontier(state, fault)
+            if not frontier:
+                return "failed"
+            if not self._x_path_exists(state, frontier):
+                return "failed"
+        return "continue"
+
+    def _objective(
+        self, state: _State, fault: StuckAtFault
+    ) -> tuple[str, Value3] | None:
+        site_good = state.good[fault.line.net]
+        required = not3(Value3.of(fault.value))
+        if site_good is Value3.X:
+            return (fault.line.net, required)
+        frontier = self._d_frontier(state, fault)
+        if not frontier:
+            return None
+        # Drive the frontier gate closest to a primary output.
+        gate_name = min(
+            frontier, key=lambda g: self._po_distance.get(g, 1 << 30)
+        )
+        gate = self.circuit.gate(gate_name)
+        control = gate.gate_type.controlling_value
+        target = (
+            Value3.of(not control) if control is not None else Value3.ZERO
+        )
+        # A side input needs the non-controlling value on *both* planes,
+        # so composite-unknown inputs (either plane X) are fair targets.
+        for fanin in gate.fanins:
+            if state.unknown(fanin):
+                return (fanin, target)
+        return None
+
+    def _any_free_input(self, state: _State) -> tuple[str, bool] | None:
+        for net in self.circuit.inputs:
+            if state.good[net] is Value3.X:
+                return (net, True)
+        return None
+
+    def _d_frontier(self, state: _State, fault: StuckAtFault) -> list[str]:
+        frontier = []
+        site = fault.line
+        for gate in self._gates:
+            if not state.unknown(gate.name):
+                continue
+            feeds_discrepancy = any(
+                state.discrepant(f) for f in gate.fanins
+            )
+            if site.is_branch and site.sink == gate.name:
+                # The discrepancy enters at the faulty branch pin.
+                net_good = state.good[site.net]
+                required = not3(Value3.of(fault.value))
+                feeds_discrepancy = feeds_discrepancy or net_good is required
+            if feeds_discrepancy:
+                frontier.append(gate.name)
+        return frontier
+
+    def _x_path_exists(self, state: _State, frontier: list[str]) -> bool:
+        """Some frontier output reaches a PO through composite-X nets."""
+        targets = set(self.circuit.outputs)
+        seen: set[str] = set()
+        stack = list(frontier)
+        while stack:
+            net = stack.pop()
+            if net in seen or not state.unknown(net):
+                continue
+            seen.add(net)
+            if net in targets:
+                return True
+            stack.extend(sink for sink, _pin in self.circuit.fanouts(net))
+        return False
+
+    def _backtrace(
+        self, objective: tuple[str, Value3], state: _State
+    ) -> tuple[str, bool] | None:
+        """Walk an objective back to an unassigned primary input."""
+        net, value = objective
+        for _ in range(self.circuit.netlist_size + 1):
+            if self.circuit.is_input(net):
+                if state.good[net] is not Value3.X:
+                    return None  # already implied; objective unreachable
+                return (net, value is Value3.ONE)
+            gate = self.circuit.gate(net)
+            if gate.gate_type in (GateType.CONST0, GateType.CONST1):
+                return None
+            if gate.gate_type.is_inverting:
+                value = not3(value)
+            if gate.gate_type in (GateType.BUF, GateType.NOT):
+                net = gate.fanins[0]
+                continue
+            unassigned = [
+                f for f in gate.fanins if state.good[f] is Value3.X
+            ]
+            if not unassigned:
+                # The good plane is fully implied here but the faulty
+                # plane may not be: follow a composite-unknown fanin.
+                unassigned = [f for f in gate.fanins if state.unknown(f)]
+            if not unassigned:
+                return None
+            net = unassigned[0]
+            if gate.gate_type.base is GateType.XOR:
+                # Any input choice can be compensated by the others.
+                value = Value3.ZERO
+            # AND/OR bases pass the needed value straight through: a 0
+            # output needs one controlling 0 input, a 1 output needs
+            # this input (like all others) at 1 — and dually for OR.
+        return None

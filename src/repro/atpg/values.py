@@ -1,0 +1,85 @@
+"""Three-valued logic for structural test generation.
+
+PODEM is usually presented over the five-valued D-calculus
+{0, 1, D, D̄, X}. We use the equivalent two-plane formulation: every
+net carries a *good-plane* and a *faulty-plane* value, each in
+{0, 1, X}. ``D`` is (good=1, faulty=0), ``D̄`` is (good=0, faulty=1),
+and partial knowledge like (1, X) — which the 5-valued algebra must
+round down to X — is kept, making implications slightly sharper.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.circuit.gates import GateType
+
+
+class Value3(enum.Enum):
+    """One plane's value: known 0, known 1, or unknown."""
+
+    ZERO = 0
+    ONE = 1
+    X = 2
+
+    def __invert__(self) -> "Value3":
+        return not3(self)
+
+    @classmethod
+    def of(cls, value: bool) -> "Value3":
+        return cls.ONE if value else cls.ZERO
+
+
+def not3(a: Value3) -> Value3:
+    if a is Value3.X:
+        return Value3.X
+    return Value3.ONE if a is Value3.ZERO else Value3.ZERO
+
+
+def and3(values: Sequence[Value3]) -> Value3:
+    if any(v is Value3.ZERO for v in values):
+        return Value3.ZERO
+    if all(v is Value3.ONE for v in values):
+        return Value3.ONE
+    return Value3.X
+
+
+def or3(values: Sequence[Value3]) -> Value3:
+    if any(v is Value3.ONE for v in values):
+        return Value3.ONE
+    if all(v is Value3.ZERO for v in values):
+        return Value3.ZERO
+    return Value3.X
+
+
+def xor3(values: Sequence[Value3]) -> Value3:
+    if any(v is Value3.X for v in values):
+        return Value3.X
+    ones = sum(1 for v in values if v is Value3.ONE)
+    return Value3.ONE if ones % 2 else Value3.ZERO
+
+
+def eval_gate3(gate_type: GateType, values: Sequence[Value3]) -> Value3:
+    """Three-valued gate evaluation (pessimistic on X, as usual)."""
+    if gate_type is GateType.CONST0:
+        return Value3.ZERO
+    if gate_type is GateType.CONST1:
+        return Value3.ONE
+    if gate_type is GateType.BUF:
+        return values[0]
+    if gate_type is GateType.NOT:
+        return not3(values[0])
+    if gate_type is GateType.AND:
+        return and3(values)
+    if gate_type is GateType.NAND:
+        return not3(and3(values))
+    if gate_type is GateType.OR:
+        return or3(values)
+    if gate_type is GateType.NOR:
+        return not3(or3(values))
+    if gate_type is GateType.XOR:
+        return xor3(values)
+    if gate_type is GateType.XNOR:
+        return not3(xor3(values))
+    raise ValueError(f"cannot evaluate {gate_type} in 3-valued logic")

@@ -1,0 +1,50 @@
+"""Reduced Ordered Binary Decision Diagrams (ROBDDs).
+
+This package implements the OBDD machinery of Bryant (IEEE ToC 1986)
+that Difference Propagation uses as its functional representation:
+
+* :class:`~repro.bdd.manager.BDDManager` — shared-node manager with a
+  unique table, computed-table memoization, and the full set of binary
+  operators built on ``ite``.
+* :class:`~repro.bdd.function.Function` — an immutable, operator-
+  overloaded handle to a node in a manager (``&``, ``|``, ``^``, ``~``).
+* :mod:`~repro.bdd.ordering` — variable-ordering heuristics (netlist
+  fanin DFS, interleaving).
+* :mod:`~repro.bdd.dot` — Graphviz export for debugging.
+
+Example
+-------
+>>> from repro.bdd import BDDManager
+>>> m = BDDManager(["a", "b", "c"])
+>>> a, b, c = m.vars("a", "b", "c")
+>>> f = (a & b) | ~c
+>>> f.satcount()
+5
+"""
+
+from repro.bdd.manager import BDDManager, FALSE, TRUE
+from repro.bdd.function import Function
+from repro.bdd.ordering import dfs_fanin_order, interleaved_order
+from repro.bdd.dot import to_dot
+from repro.bdd.transfer import (
+    forest_size,
+    functions_equal,
+    pick_best_order,
+    reorder,
+    transfer,
+)
+
+__all__ = [
+    "BDDManager",
+    "Function",
+    "FALSE",
+    "TRUE",
+    "dfs_fanin_order",
+    "interleaved_order",
+    "to_dot",
+    "transfer",
+    "functions_equal",
+    "reorder",
+    "forest_size",
+    "pick_best_order",
+]

@@ -1,0 +1,40 @@
+"""Graphviz (DOT) export of BDDs, for debugging and documentation."""
+
+from __future__ import annotations
+
+from repro.bdd.manager import BDDManager, FALSE, TRUE
+
+
+def to_dot(manager: BDDManager, node: int, name: str = "bdd") -> str:
+    """Render the diagram rooted at ``node`` as a DOT digraph string.
+
+    Solid edges are the 1-cofactor (high), dashed edges the 0-cofactor
+    (low); terminals are boxes.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    lines.append('  n0 [shape=box, label="0"];')
+    lines.append('  n1 [shape=box, label="1"];')
+    seen: set[int] = set()
+    stack = [node]
+    ranks: dict[int, list[int]] = {}
+    while stack:
+        u = stack.pop()
+        if u in seen or u <= TRUE:
+            continue
+        seen.add(u)
+        label = manager.var_at(u)
+        lines.append(f'  n{u} [shape=circle, label="{label}"];')
+        lines.append(f"  n{u} -> n{manager.low(u)} [style=dashed];")
+        lines.append(f"  n{u} -> n{manager.high(u)} [style=solid];")
+        ranks.setdefault(manager.level(u), []).append(u)
+        stack.append(manager.low(u))
+        stack.append(manager.high(u))
+    for level_nodes in ranks.values():
+        members = "; ".join(f"n{u}" for u in level_nodes)
+        lines.append(f"  {{ rank=same; {members}; }}")
+    if node == FALSE:
+        lines.append("  // function is constant FALSE")
+    elif node == TRUE:
+        lines.append("  // function is constant TRUE")
+    lines.append("}")
+    return "\n".join(lines)

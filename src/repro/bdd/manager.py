@@ -1,0 +1,594 @@
+"""The ROBDD node manager.
+
+Nodes are integers. ``FALSE`` is 0 and ``TRUE`` is 1; every other node
+``u`` is an internal node with a variable level ``level(u)`` and two
+children ``low(u)`` / ``high(u)`` (the cofactors for the level variable
+set to 0 / 1). The manager enforces the two ROBDD invariants:
+
+* **ordered** — children always have strictly larger levels;
+* **reduced** — no node with ``low == high`` and no duplicate
+  ``(level, low, high)`` triples (unique table).
+
+Because of these invariants two functions are equal iff their node ids
+are equal, which is what makes exact fault analysis cheap: a difference
+function is "identically zero" exactly when its id is 0.
+
+The manager works on raw integer handles for speed; the friendlier
+:class:`repro.bdd.function.Function` wrapper is layered on top.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+FALSE = 0
+TRUE = 1
+
+# Operation tags for the computed table.
+_OP_AND = 0
+_OP_OR = 1
+_OP_XOR = 2
+_OP_NOT = 3
+_OP_ITE = 4
+_OP_EXISTS = 5
+_OP_FORALL = 6
+_OP_COMPOSE = 7
+
+
+class BDDError(Exception):
+    """Raised on misuse of the BDD layer (unknown variables, mixed managers...)."""
+
+
+class BDDManager:
+    """Shared-node ROBDD manager over a fixed, extendable variable order.
+
+    Parameters
+    ----------
+    variables:
+        Initial variable names, in order (level 0 is the topmost level,
+        tested first). More variables may be appended later with
+        :meth:`add_var`; inserting in the middle of the order is not
+        supported (it would invalidate existing nodes).
+    """
+
+    def __init__(self, variables: Iterable[str] = ()) -> None:
+        # Node store. Index = node id. Terminals occupy ids 0 and 1 with
+        # a sentinel level larger than any variable level.
+        self._level: list[int] = [2**60, 2**60]
+        self._low: list[int] = [0, 1]
+        self._high: list[int] = [0, 1]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._cache: dict[tuple, int] = {}
+        self._count_memo: dict[int, int] = {}
+        self._var_names: list[str] = []
+        self._var_index: dict[str, int] = {}
+        for name in variables:
+            self.add_var(name)
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def add_var(self, name: str) -> int:
+        """Append variable ``name`` at the bottom of the order; return its level."""
+        if name in self._var_index:
+            raise BDDError(f"variable {name!r} already declared")
+        level = len(self._var_names)
+        self._var_names.append(name)
+        self._var_index[name] = level
+        # Counting results depend on the variable-set size.
+        self._count_memo.clear()
+        return level
+
+    @property
+    def var_names(self) -> tuple[str, ...]:
+        """Variable names in order (level 0 first)."""
+        return tuple(self._var_names)
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._var_names)
+
+    def level_of(self, name: str) -> int:
+        try:
+            return self._var_index[name]
+        except KeyError:
+            raise BDDError(f"unknown variable {name!r}") from None
+
+    def var(self, name: str) -> int:
+        """Node for the literal ``name``."""
+        return self._mk(self.level_of(name), FALSE, TRUE)
+
+    def nvar(self, name: str) -> int:
+        """Node for the negative literal ``~name``."""
+        return self._mk(self.level_of(name), TRUE, FALSE)
+
+    # ------------------------------------------------------------------
+    # Node structure access
+    # ------------------------------------------------------------------
+    def level(self, u: int) -> int:
+        return self._level[u]
+
+    def var_at(self, u: int) -> str:
+        """Name of the decision variable of internal node ``u``."""
+        if u <= TRUE:
+            raise BDDError("terminal nodes have no decision variable")
+        return self._var_names[self._level[u]]
+
+    def low(self, u: int) -> int:
+        return self._low[u]
+
+    def high(self, u: int) -> int:
+        return self._high[u]
+
+    def is_terminal(self, u: int) -> bool:
+        return u <= TRUE
+
+    @property
+    def num_nodes(self) -> int:
+        """Total nodes ever allocated (including both terminals)."""
+        return len(self._level)
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        """Find-or-create the node ``(level, low, high)`` (the reduce rules)."""
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # Core operator: if-then-else
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """``(f & g) | (~f & h)`` — the universal ternary connective."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (_OP_ITE, f, g, h)
+        result = self._cache.get(key)
+        if result is not None:
+            return result
+        levels = (self._level[f], self._level[g], self._level[h])
+        top = min(levels)
+        f0, f1 = self._cofactors(f, top)
+        g0, g1 = self._cofactors(g, top)
+        h0, h1 = self._cofactors(h, top)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._mk(top, low, high)
+        self._cache[key] = result
+        return result
+
+    def _cofactors(self, u: int, level: int) -> tuple[int, int]:
+        if self._level[u] == level:
+            return self._low[u], self._high[u]
+        return u, u
+
+    # ------------------------------------------------------------------
+    # Binary / unary operators
+    # ------------------------------------------------------------------
+    def apply_not(self, f: int) -> int:
+        if f == FALSE:
+            return TRUE
+        if f == TRUE:
+            return FALSE
+        key = (_OP_NOT, f)
+        result = self._cache.get(key)
+        if result is not None:
+            return result
+        result = self._mk(
+            self._level[f], self.apply_not(self._low[f]), self.apply_not(self._high[f])
+        )
+        self._cache[key] = result
+        # Negation is an involution; prime the reverse entry too.
+        self._cache[(_OP_NOT, result)] = f
+        return result
+
+    # The three workhorse binary operators are written with
+    # closure-local bindings of the node arrays and tables: Difference
+    # Propagation spends nearly all its time here, and dropping the
+    # attribute lookups from the recursion roughly halves the cost.
+
+    def apply_and(self, f: int, g: int) -> int:
+        level, low, high = self._level, self._low, self._high
+        cache, unique = self._cache, self._unique
+
+        def rec(f: int, g: int) -> int:
+            if f == g or g == TRUE:
+                return f
+            if f == FALSE or g == FALSE:
+                return FALSE
+            if f == TRUE:
+                return g
+            if f > g:  # commutative: canonicalize the cache key
+                f, g = g, f
+            key = (_OP_AND, f, g)
+            result = cache.get(key)
+            if result is not None:
+                return result
+            lf, lg = level[f], level[g]
+            if lf <= lg:
+                top, f0, f1 = lf, low[f], high[f]
+            else:
+                top, f0, f1 = lg, f, f
+            if lg <= lf:
+                g0, g1 = low[g], high[g]
+            else:
+                g0, g1 = g, g
+            r0 = rec(f0, g0)
+            r1 = rec(f1, g1)
+            if r0 == r1:
+                result = r0
+            else:
+                node_key = (top, r0, r1)
+                result = unique.get(node_key)
+                if result is None:
+                    result = len(level)
+                    level.append(top)
+                    low.append(r0)
+                    high.append(r1)
+                    unique[node_key] = result
+            cache[key] = result
+            return result
+
+        return rec(f, g)
+
+    def apply_or(self, f: int, g: int) -> int:
+        level, low, high = self._level, self._low, self._high
+        cache, unique = self._cache, self._unique
+
+        def rec(f: int, g: int) -> int:
+            if f == g or g == FALSE:
+                return f
+            if f == TRUE or g == TRUE:
+                return TRUE
+            if f == FALSE:
+                return g
+            if f > g:
+                f, g = g, f
+            key = (_OP_OR, f, g)
+            result = cache.get(key)
+            if result is not None:
+                return result
+            lf, lg = level[f], level[g]
+            if lf <= lg:
+                top, f0, f1 = lf, low[f], high[f]
+            else:
+                top, f0, f1 = lg, f, f
+            if lg <= lf:
+                g0, g1 = low[g], high[g]
+            else:
+                g0, g1 = g, g
+            r0 = rec(f0, g0)
+            r1 = rec(f1, g1)
+            if r0 == r1:
+                result = r0
+            else:
+                node_key = (top, r0, r1)
+                result = unique.get(node_key)
+                if result is None:
+                    result = len(level)
+                    level.append(top)
+                    low.append(r0)
+                    high.append(r1)
+                    unique[node_key] = result
+            cache[key] = result
+            return result
+
+        return rec(f, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        level, low, high = self._level, self._low, self._high
+        cache, unique = self._cache, self._unique
+        apply_not = self.apply_not
+
+        def rec(f: int, g: int) -> int:
+            if f == g:
+                return FALSE
+            if f == FALSE:
+                return g
+            if g == FALSE:
+                return f
+            if f == TRUE:
+                return apply_not(g)
+            if g == TRUE:
+                return apply_not(f)
+            if f > g:
+                f, g = g, f
+            key = (_OP_XOR, f, g)
+            result = cache.get(key)
+            if result is not None:
+                return result
+            lf, lg = level[f], level[g]
+            if lf <= lg:
+                top, f0, f1 = lf, low[f], high[f]
+            else:
+                top, f0, f1 = lg, f, f
+            if lg <= lf:
+                g0, g1 = low[g], high[g]
+            else:
+                g0, g1 = g, g
+            r0 = rec(f0, g0)
+            r1 = rec(f1, g1)
+            if r0 == r1:
+                result = r0
+            else:
+                node_key = (top, r0, r1)
+                result = unique.get(node_key)
+                if result is None:
+                    result = len(level)
+                    level.append(top)
+                    low.append(r0)
+                    high.append(r1)
+                    unique[node_key] = result
+            cache[key] = result
+            return result
+
+        return rec(f, g)
+
+    def apply_nand(self, f: int, g: int) -> int:
+        return self.apply_not(self.apply_and(f, g))
+
+    def apply_nor(self, f: int, g: int) -> int:
+        return self.apply_not(self.apply_or(f, g))
+
+    def apply_xnor(self, f: int, g: int) -> int:
+        return self.apply_not(self.apply_xor(f, g))
+
+    def apply_implies(self, f: int, g: int) -> int:
+        return self.ite(f, g, TRUE)
+
+    # ------------------------------------------------------------------
+    # Cofactor / quantification / composition
+    # ------------------------------------------------------------------
+    def restrict(self, f: int, name: str, value: bool) -> int:
+        """Cofactor of ``f`` with variable ``name`` fixed to ``value``."""
+        level = self.level_of(name)
+        return self._restrict(f, level, bool(value))
+
+    def _restrict(self, f: int, level: int, value: bool) -> int:
+        if self._level[f] > level:
+            return f
+        key = ("restrict", f, level, value)
+        result = self._cache.get(key)
+        if result is not None:
+            return result
+        if self._level[f] == level:
+            result = self._high[f] if value else self._low[f]
+        else:
+            result = self._mk(
+                self._level[f],
+                self._restrict(self._low[f], level, value),
+                self._restrict(self._high[f], level, value),
+            )
+        self._cache[key] = result
+        return result
+
+    def exists(self, f: int, names: Iterable[str]) -> int:
+        """Existential quantification over the given variables."""
+        levels = frozenset(self.level_of(n) for n in names)
+        return self._quantify(f, levels, _OP_EXISTS)
+
+    def forall(self, f: int, names: Iterable[str]) -> int:
+        """Universal quantification over the given variables."""
+        levels = frozenset(self.level_of(n) for n in names)
+        return self._quantify(f, levels, _OP_FORALL)
+
+    def _quantify(self, f: int, levels: frozenset[int], op: int) -> int:
+        if f <= TRUE or not levels:
+            return f
+        if self._level[f] > max(levels):
+            return f
+        key = (op, f, levels)
+        result = self._cache.get(key)
+        if result is not None:
+            return result
+        low = self._quantify(self._low[f], levels, op)
+        high = self._quantify(self._high[f], levels, op)
+        if self._level[f] in levels:
+            if op == _OP_EXISTS:
+                result = self.apply_or(low, high)
+            else:
+                result = self.apply_and(low, high)
+        else:
+            result = self._mk(self._level[f], low, high)
+        self._cache[key] = result
+        return result
+
+    def compose(self, f: int, name: str, g: int) -> int:
+        """Substitute function ``g`` for variable ``name`` in ``f``."""
+        level = self.level_of(name)
+        return self._compose(f, level, g)
+
+    def _compose(self, f: int, level: int, g: int) -> int:
+        if self._level[f] > level:
+            return f
+        key = (_OP_COMPOSE, f, level, g)
+        result = self._cache.get(key)
+        if result is not None:
+            return result
+        if self._level[f] == level:
+            result = self.ite(g, self._high[f], self._low[f])
+        else:
+            low = self._compose(self._low[f], level, g)
+            high = self._compose(self._high[f], level, g)
+            # The substituted children may no longer respect the order
+            # relative to level(f) if g's top variable sits above f's —
+            # rebuild through ite on the decision variable to stay safe.
+            var_node = self._mk(self._level[f], FALSE, TRUE)
+            result = self.ite(var_node, high, low)
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def satcount(self, f: int, nvars: int | None = None) -> int:
+        """Number of satisfying assignments over ``nvars`` variables.
+
+        ``nvars`` defaults to the manager's full variable count, which is
+        what detectability/syndrome computations want (every minterm is a
+        full primary-input vector); it may exceed the count to model
+        extra free variables, but cannot be smaller.
+        """
+        if nvars is None:
+            nvars = self.num_vars
+        elif nvars < self.num_vars:
+            raise BDDError(
+                f"nvars={nvars} is smaller than the manager's "
+                f"{self.num_vars} variables"
+            )
+        if f == FALSE:
+            return 0
+        if f == TRUE:
+            return 1 << nvars
+        count = self._satcount_rec(f, self._count_memo)
+        # _satcount_rec counts assignments to variables strictly below
+        # level(f) within the manager's own variable set; scale by the
+        # skipped levels above the root and any extra free variables.
+        return count << (self._level[f] + nvars - self.num_vars)
+
+    def _satcount_rec(self, f: int, memo: dict[int, int]) -> int:
+        """Count assignments over levels ``level(f) .. num_vars-1``."""
+        if f == FALSE:
+            return 0
+        if f == TRUE:
+            return 1
+        cached = memo.get(f)
+        if cached is not None:
+            return cached
+        nvars = self.num_vars
+        low, high = self._low[f], self._high[f]
+        level = self._level[f]
+        low_level = min(self._level[low], nvars)
+        high_level = min(self._level[high], nvars)
+        count = self._satcount_rec(low, memo) << (low_level - level - 1)
+        count += self._satcount_rec(high, memo) << (high_level - level - 1)
+        memo[f] = count
+        return count
+
+    def support(self, f: int) -> frozenset[str]:
+        """Names of the variables ``f`` structurally depends on."""
+        levels: set[int] = set()
+        seen: set[int] = set()
+        stack = [f]
+        while stack:
+            u = stack.pop()
+            if u <= TRUE or u in seen:
+                continue
+            seen.add(u)
+            levels.add(self._level[u])
+            stack.append(self._low[u])
+            stack.append(self._high[u])
+        return frozenset(self._var_names[lv] for lv in levels)
+
+    def node_count(self, f: int) -> int:
+        """Number of distinct nodes in the diagram rooted at ``f`` (incl. terminals)."""
+        seen: set[int] = set()
+        stack = [f]
+        while stack:
+            u = stack.pop()
+            if u in seen:
+                continue
+            seen.add(u)
+            if u > TRUE:
+                stack.append(self._low[u])
+                stack.append(self._high[u])
+        return len(seen)
+
+    def pick_minterm(self, f: int) -> dict[str, bool] | None:
+        """One satisfying full assignment of ``f``, or ``None`` if unsatisfiable."""
+        if f == FALSE:
+            return None
+        assignment: dict[str, bool] = {}
+        u = f
+        while u > TRUE:
+            if self._low[u] != FALSE:
+                assignment[self.var_at(u)] = False
+                u = self._low[u]
+            else:
+                assignment[self.var_at(u)] = True
+                u = self._high[u]
+        for name in self._var_names:
+            assignment.setdefault(name, False)
+        return assignment
+
+    def minterms(self, f: int, limit: int | None = None) -> Iterator[dict[str, bool]]:
+        """Iterate full satisfying assignments (at most ``limit`` of them)."""
+        if f == FALSE:
+            return
+        emitted = 0
+        names = self._var_names
+
+        def rec(u: int, level: int, partial: dict[str, bool]) -> Iterator[dict[str, bool]]:
+            if level == len(names):
+                if u == TRUE:
+                    yield dict(partial)
+                return
+            if u == FALSE:
+                return
+            name = names[level]
+            if self._level[u] == level:
+                branches = ((False, self._low[u]), (True, self._high[u]))
+            else:
+                branches = ((False, u), (True, u))
+            for value, child in branches:
+                partial[name] = value
+                yield from rec(child, level + 1, partial)
+            del partial[name]
+
+        for assignment in rec(f, 0, {}):
+            yield assignment
+            emitted += 1
+            if limit is not None and emitted >= limit:
+                return
+
+    def evaluate(self, f: int, assignment: dict[str, bool]) -> bool:
+        """Evaluate ``f`` under a (full) variable assignment."""
+        u = f
+        while u > TRUE:
+            name = self._var_names[self._level[u]]
+            try:
+                value = assignment[name]
+            except KeyError:
+                raise BDDError(f"assignment missing variable {name!r}") from None
+            u = self._high[u] if value else self._low[u]
+        return u == TRUE
+
+    # ------------------------------------------------------------------
+    # Bulk helpers
+    # ------------------------------------------------------------------
+    def cube(self, literals: dict[str, bool]) -> int:
+        """Conjunction of literals, e.g. ``cube({'a': True, 'b': False})``."""
+        result = TRUE
+        for name, value in literals.items():
+            lit = self.var(name) if value else self.nvar(name)
+            result = self.apply_and(result, lit)
+        return result
+
+    def disjoin(self, nodes: Sequence[int]) -> int:
+        result = FALSE
+        for node in nodes:
+            result = self.apply_or(result, node)
+        return result
+
+    def conjoin(self, nodes: Sequence[int]) -> int:
+        result = TRUE
+        for node in nodes:
+            result = self.apply_and(result, node)
+        return result
+
+    def clear_caches(self) -> None:
+        """Drop the computed table (node store and unique table are kept)."""
+        self._cache.clear()

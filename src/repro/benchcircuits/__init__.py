@@ -1,0 +1,55 @@
+"""The paper's benchmark circuit suite.
+
+Butler & Mercer evaluate eight combinational circuits, "in increasing
+order of size": C17, a full adder, C95, the 74LS181 ALU, C432, C499,
+C1355 and C1908. C17 is reproduced exactly from the public ISCAS-85
+netlist; the 74LS181 is a functionally exact gate network verified
+exhaustively against its datasheet function table; the remaining ISCAS
+circuits are **surrogates** of the same interface and function class
+(see DESIGN.md §4 for the substitution rationale). Crucially, our C1355
+is the mechanical XOR→4-NAND expansion of our C499, preserving the
+paper's controlled same-function/more-gates experiment.
+
+Use :func:`get_circuit` / :func:`paper_suite` for cached access::
+
+    from repro.benchcircuits import get_circuit, paper_suite
+    alu = get_circuit("alu181")
+    for circuit in paper_suite():
+        print(circuit.name, circuit.netlist_size)
+"""
+
+from repro.benchcircuits.registry import (
+    CIRCUIT_NAMES,
+    circuit_notes,
+    get_circuit,
+    paper_suite,
+    small_suite,
+)
+from repro.benchcircuits.c17 import build_c17
+from repro.benchcircuits.fulladder import build_fulladder
+from repro.benchcircuits.c95 import build_c95
+from repro.benchcircuits.alu74181 import build_alu181, alu181_reference
+from repro.benchcircuits.c432 import build_c432, c432_reference
+from repro.benchcircuits.c499 import build_c499, c499_reference
+from repro.benchcircuits.c1355 import build_c1355
+from repro.benchcircuits.c1908 import build_c1908, c1908_reference
+
+__all__ = [
+    "CIRCUIT_NAMES",
+    "circuit_notes",
+    "get_circuit",
+    "paper_suite",
+    "small_suite",
+    "build_c17",
+    "build_fulladder",
+    "build_c95",
+    "build_alu181",
+    "alu181_reference",
+    "build_c432",
+    "c432_reference",
+    "build_c499",
+    "c499_reference",
+    "build_c1355",
+    "build_c1908",
+    "c1908_reference",
+]

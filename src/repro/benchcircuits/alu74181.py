@@ -1,0 +1,154 @@
+"""The 74LS181 4-bit ALU — fourth circuit in the paper's suite.
+
+This is a full gate-level network reconstructed from the official
+function table (active-high data). It is *functionally exact*: the test
+suite verifies all 2^14 input combinations against the behavioural
+reference below.
+
+Structure (mirrors the real part's AOI organization):
+
+* per bit *i*, two first-level complex gates compute
+
+  - ``u_i = NOR(A_i, S1·B̄_i, S0·B_i)``
+  - ``v_i = NOR(A_i·S2·B̄_i, A_i·S3·B_i)``
+
+  whose complements act as carry *propagate* ``P_i = ¬u_i`` and
+  *generate* ``G_i = ¬v_i`` (in ADD mode, S=1001, these reduce to the
+  familiar ``P=A∨B``, ``G=A·B``);
+* a four-stage carry-lookahead network over ``(P_i, G_i)`` with
+  carry-in ``c_0 = ¬Cn`` (Cn is active-low);
+* the result bits ``F_i = XNOR(u_i, v_i) ⊕ (¬M·¬c_i)`` so that logic
+  mode (M=1) suppresses the carry chain;
+* outputs ``Cn+4 = ¬c_4``, ``P̄ = NAND(P_3..P_0)``,
+  ``Ḡ = NOR(G_3, P_3G_2, P_3P_2G_1, P_3P_2P_1G_0)`` and
+  ``A=B = F_3·F_2·F_1·F_0``.
+
+Primary inputs (14): ``a0..a3 b0..b3 s0..s3 m cn``.
+Primary outputs (8): ``f0..f3 cn4 pbar gbar aeqb``.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+
+WIDTH = 4
+
+
+def build_alu181() -> Circuit:
+    b = CircuitBuilder("alu181")
+    a = b.input_vector("a", WIDTH)
+    bb = b.input_vector("b", WIDTH)
+    s = b.input_vector("s", WIDTH)
+    m = b.input("m")
+    cn = b.input("cn")
+
+    nm = b.not_(m, name="nm")
+    nb = [b.not_(bb[i], name=f"nb{i}") for i in range(WIDTH)]
+
+    u, v, h, p, g = [], [], [], [], []
+    for i in range(WIDTH):
+        u_i = b.nor(
+            a[i],
+            b.and_(s[1], nb[i]),
+            b.and_(s[0], bb[i]),
+            name=f"u{i}",
+        )
+        v_i = b.nor(
+            b.and_(a[i], s[2], nb[i]),
+            b.and_(a[i], s[3], bb[i]),
+            name=f"v{i}",
+        )
+        u.append(u_i)
+        v.append(v_i)
+        h.append(b.xnor(u_i, v_i, name=f"h{i}"))
+        p.append(b.not_(u_i, name=f"p{i}"))
+        g.append(b.not_(v_i, name=f"g{i}"))
+
+    # True-carry lookahead: c0 = ~cn, c_{i+1} = G_i | P_i G_{i-1} | ... .
+    c0 = b.not_(cn, name="c0")
+    carries = [c0]
+    for i in range(WIDTH):
+        terms = [g[i]]
+        for j in range(i - 1, -1, -1):
+            terms.append(b.and_(*p[j + 1 : i + 1], g[j]))
+        terms.append(b.and_(*p[0 : i + 1], c0))
+        carries.append(b.or_(*terms, name=f"c{i + 1}"))
+
+    # Result bits: F_i = h_i XOR (¬M · ¬c_i). For bit 0, ¬c_0 = cn.
+    f = []
+    k0 = b.and_(nm, cn, name="k0")
+    f.append(b.xor(h[0], k0, name="f0"))
+    for i in range(1, WIDTH):
+        k_i = b.nor(m, carries[i], name=f"k{i}")
+        f.append(b.xor(h[i], k_i, name=f"f{i}"))
+    for net in f:
+        b.output(net)
+
+    b.output(b.not_(carries[WIDTH], name="cn4"))
+    b.output(b.nand(*p, name="pbar"))
+    gbar_terms = [g[WIDTH - 1]]
+    for j in range(WIDTH - 2, -1, -1):
+        gbar_terms.append(b.and_(*p[j + 1 : WIDTH], g[j]))
+    b.output(b.nor(*gbar_terms, name="gbar"))
+    b.output(b.and_(*f, name="aeqb"))
+    return b.build()
+
+
+def alu181_reference(a: int, bv: int, s: int, m: bool, cn: bool) -> dict[str, bool]:
+    """Behavioural oracle computed by an independent route.
+
+    Logic mode uses the function-table observation that the S nibble
+    directly encodes the 2-variable truth table: ``F(0,0)=¬S1``,
+    ``F(0,1)=¬S0``, ``F(1,0)=S2``, ``F(1,1)=S3``. Arithmetic mode uses
+    integer addition of the generate/propagate operand pair, which is
+    valid because ``G_i ⇒ P_i`` for every S code.
+    """
+    s0, s1, s2, s3 = (bool((s >> k) & 1) for k in range(4))
+    p_bits = g_bits = 0
+    f_bits = 0
+    for i in range(WIDTH):
+        ai = bool((a >> i) & 1)
+        bi = bool((bv >> i) & 1)
+        p_i = ai or (s1 and not bi) or (s0 and bi)
+        g_i = ai and ((s2 and not bi) or (s3 and bi))
+        p_bits |= int(p_i) << i
+        g_bits |= int(g_i) << i
+    if m:  # logic mode
+        for i in range(WIDTH):
+            ai = bool((a >> i) & 1)
+            bi = bool((bv >> i) & 1)
+            if not ai and not bi:
+                f_i = not s1
+            elif not ai and bi:
+                f_i = not s0
+            elif ai and not bi:
+                f_i = s2
+            else:
+                f_i = s3
+            f_bits |= int(f_i) << i
+        carry_out = _carry_out(p_bits, g_bits, not cn)
+    else:  # arithmetic mode: F = G plus P plus ¬Cn
+        total = g_bits + p_bits + int(not cn)
+        f_bits = total & (2**WIDTH - 1)
+        carry_out = bool(total >> WIDTH)
+    result = {f"f{i}": bool((f_bits >> i) & 1) for i in range(WIDTH)}
+    result["cn4"] = not carry_out
+    result["pbar"] = p_bits != 2**WIDTH - 1
+    # Carry generate (independent of carry-in): lookahead over (P, G).
+    gen = bool((g_bits >> (WIDTH - 1)) & 1)
+    for j in range(WIDTH - 2, -1, -1):
+        path = all((p_bits >> k) & 1 for k in range(j + 1, WIDTH))
+        gen = gen or (path and bool((g_bits >> j) & 1))
+    result["gbar"] = not gen
+    result["aeqb"] = f_bits == 2**WIDTH - 1
+    return result
+
+
+def _carry_out(p_bits: int, g_bits: int, carry_in: bool) -> bool:
+    carry = carry_in
+    for i in range(WIDTH):
+        g_i = bool((g_bits >> i) & 1)
+        p_i = bool((p_bits >> i) & 1)
+        carry = g_i or (p_i and carry)
+    return carry

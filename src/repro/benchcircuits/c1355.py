@@ -1,0 +1,20 @@
+"""C1355 surrogate — C499 with XORs expanded into four-NAND networks.
+
+The paper leans on the fact that the real C1355 "is identical to C499
+except with Exclusive-ORs expanded into their four-nand equivalents"
+and observes that detectability *still drops* with the added circuitry
+even though the function is unchanged — the argument for minimal
+designs. We reproduce the relationship mechanically:
+``build_c1355() == expand_xor_to_nand(build_c499())``, and the test
+suite proves PO-by-PO functional equivalence on the OBDDs.
+"""
+
+from __future__ import annotations
+
+from repro.benchcircuits.c499 import build_c499
+from repro.circuit.netlist import Circuit
+from repro.circuit.transforms import expand_xor_to_nand
+
+
+def build_c1355() -> Circuit:
+    return expand_xor_to_nand(build_c499(), name="c1355")

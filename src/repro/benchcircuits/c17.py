@@ -1,0 +1,27 @@
+"""C17 — the smallest ISCAS-85 benchmark, reproduced exactly.
+
+Five inputs, two outputs, six NAND gates. This is the one ISCAS-85
+netlist small and famous enough to reproduce verbatim from the
+literature (Brglez & Fujiwara, ISCAS 1985).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+
+def build_c17() -> Circuit:
+    """The exact C17 netlist (net names follow the original numbering)."""
+    c = Circuit("c17")
+    for net in ("G1", "G2", "G3", "G6", "G7"):
+        c.add_input(net)
+    c.add_gate("G10", GateType.NAND, ("G1", "G3"))
+    c.add_gate("G11", GateType.NAND, ("G3", "G6"))
+    c.add_gate("G16", GateType.NAND, ("G2", "G11"))
+    c.add_gate("G19", GateType.NAND, ("G11", "G7"))
+    c.add_gate("G22", GateType.NAND, ("G10", "G16"))
+    c.add_gate("G23", GateType.NAND, ("G16", "G19"))
+    c.add_output("G22")
+    c.add_output("G23")
+    return c

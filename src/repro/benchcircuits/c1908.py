@@ -1,0 +1,202 @@
+"""C1908 surrogate — a 16-bit SEC/DED error corrector, NAND-expanded.
+
+The real ISCAS-85 C1908 is a 16-bit single-error-correcting /
+double-error-detecting (SEC/DED) circuit with 33 inputs and 25 outputs.
+Our surrogate keeps the interface and the function class:
+
+Inputs (33): 16 data ``d0..d15``, 6 check ``ch0..ch5`` (5 Hamming
+syndrome bits + 1 overall parity), an 8-bit scramble bus ``mk0..mk7``
+(models the error-injection test bus: when armed, data bit *i* is XORed
+with ``mk_{i mod 8}`` and check bit *j* with ``mk_j``), arm line
+``inj``, correction enable ``en``, and parity-polarity select ``pol``
+(chooses the even/odd convention of the overall parity).
+
+Outputs (25): 16 corrected data ``out0..out15``, 6 regenerated check
+bits ``rch0..rch5`` (recomputed from the corrected word), and the flags
+``errs`` (single error corrected), ``errd`` (uncorrectable error), and
+``erra`` (any error).
+
+Textbook SEC/DED decode: a non-zero syndrome with odd overall parity
+whose pattern matches a data-position signature or a unit vector (a
+check-bit error) is a correctable single error; a non-zero syndrome
+with even parity, or an odd-parity syndrome matching no valid pattern
+(≥3 errors), is uncorrectable. ``erra`` additionally ORs in a
+received-vs-regenerated check comparison — functionally redundant by
+construction, as real datapaths often are, which seeds the circuit with
+genuinely undetectable faults for the fault-model study.
+
+Parity networks are balanced XOR trees, and every XOR is finally
+expanded to its four-NAND network — yielding a depth close to the real
+part's (~40 levels) and the deepest member of the suite.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.circuit.transforms import expand_xor_to_nand
+
+DATA_BITS = 16
+SYN_BITS = 5  # Hamming syndrome bits; ch5 is the overall parity
+
+
+def signature(position: int) -> int:
+    """Unique non-power-of-two 5-bit Hamming code for a data position.
+
+    Powers of two are reserved for check-bit errors (syndrome = unit
+    vector), as in the classic Hamming construction.
+    """
+    value = 3
+    for _ in range(position):
+        value += 1
+        while value & (value - 1) == 0:  # skip powers of two
+            value += 1
+    return value
+
+
+def build_c1908() -> Circuit:
+    b = CircuitBuilder("c1908_base")
+    data = b.input_vector("d", DATA_BITS)
+    check = b.input_vector("ch", SYN_BITS + 1)
+    mask = b.input_vector("mk", 8)
+    inj = b.input("inj")
+    enable = b.input("en")
+    pol = b.input("pol")
+
+    # Error-injection scramble stage (data and check bits).
+    armed = [b.and_(mask[k], inj, name=f"arm{k}") for k in range(8)]
+    scrambled = [
+        b.xor(data[i], armed[i % 8], name=f"sd{i}") for i in range(DATA_BITS)
+    ]
+    sch = [
+        b.xor(check[j], armed[j], name=f"sch{j}") for j in range(SYN_BITS + 1)
+    ]
+
+    # Hamming syndrome (balanced parity trees).
+    syndromes = []
+    for j in range(SYN_BITS):
+        group = [scrambled[i] for i in range(DATA_BITS) if (signature(i) >> j) & 1]
+        syndromes.append(b.xor_tree(group + [sch[j]], name=f"syn{j}"))
+    nsyn = [b.not_(syndromes[j], name=f"nsyn{j}") for j in range(SYN_BITS)]
+
+    # Overall parity over everything received, polarity-selectable.
+    overall = b.xor_tree(scrambled + sch + [pol], name="pall")
+
+    syn_nonzero = b.or_tree(syndromes, name="synnz")
+
+    # Position decoders.
+    matches = []
+    for i in range(DATA_BITS):
+        sig = signature(i)
+        literals = [
+            syndromes[j] if (sig >> j) & 1 else nsyn[j] for j in range(SYN_BITS)
+        ]
+        matches.append(b.and_tree(literals, name=f"match{i}"))
+    any_match = b.or_tree(matches, name="anymatch")
+
+    # Unit-vector syndromes = single check-bit errors (also correctable).
+    units = []
+    for j in range(SYN_BITS):
+        literals = [
+            syndromes[k] if k == j else nsyn[k] for k in range(SYN_BITS)
+        ]
+        units.append(b.and_tree(literals, name=f"unit{j}"))
+    any_unit = b.or_tree(units, name="anyunit")
+
+    valid = b.or_(any_match, any_unit, name="validsyn")
+    single = b.and_(syn_nonzero, overall, valid, name="single")
+    uncorr = b.or_(
+        b.and_(syn_nonzero, b.not_(overall, name="npall")),
+        b.and_(syn_nonzero, overall, b.not_(valid)),
+        name="uncorr",
+    )
+
+    # Correct single data errors.
+    do_correct = b.and_(single, enable, name="docorr")
+    outs = []
+    for i in range(DATA_BITS):
+        flip = b.and_(matches[i], do_correct, name=f"flip{i}")
+        outs.append(b.xor(scrambled[i], flip, name=f"out{i}"))
+        b.output(outs[i])
+
+    # Regenerate check bits from the corrected word.
+    rch = []
+    for j in range(SYN_BITS):
+        group = [outs[i] for i in range(DATA_BITS) if (signature(i) >> j) & 1]
+        rch.append(b.xor_tree(group, name=f"rch{j}"))
+        b.output(rch[j])
+    rch.append(b.xor_tree(outs, name="rch5"))
+    b.output(rch[-1])
+
+    b.output(b.buf(single, name="errs"))
+    b.output(b.buf(uncorr, name="errd"))
+
+    # Functionally-redundant cross check: regenerated-vs-received
+    # mismatch is already implied by (single | uncorr).
+    mismatch = [
+        b.xor(rch[j], sch[j], name=f"cmp{j}") for j in range(SYN_BITS)
+    ]
+    any_mismatch = b.or_tree(mismatch, name="anycmp")
+    b.output(b.or_(single, uncorr, any_mismatch, name="erra"))
+
+    base = b.build()
+    return expand_xor_to_nand(base, name="c1908")
+
+
+def c1908_reference(
+    data: int,
+    check: int,
+    mask: int,
+    inj: bool,
+    enable: bool,
+    pol: bool,
+) -> dict[str, bool]:
+    """Behavioural oracle; operands are bit-vectors (LSB first)."""
+    scrambled = data
+    sch = check
+    if inj:
+        for i in range(DATA_BITS):
+            if (mask >> (i % 8)) & 1:
+                scrambled ^= 1 << i
+        for j in range(SYN_BITS + 1):
+            if (mask >> j) & 1:
+                sch ^= 1 << j
+    syndrome = 0
+    for j in range(SYN_BITS):
+        parity = (sch >> j) & 1
+        for i in range(DATA_BITS):
+            if (signature(i) >> j) & 1:
+                parity ^= (scrambled >> i) & 1
+        syndrome |= parity << j
+    ones = bin(scrambled).count("1") + bin(sch).count("1") + int(pol)
+    overall_odd = ones % 2 == 1
+    valid = syndrome in {signature(i) for i in range(DATA_BITS)} or (
+        syndrome != 0 and syndrome & (syndrome - 1) == 0
+    )
+    single = syndrome != 0 and overall_odd and valid
+    uncorr = (syndrome != 0 and not overall_odd) or (
+        syndrome != 0 and overall_odd and not valid
+    )
+    corrected = scrambled
+    if single and enable:
+        for i in range(DATA_BITS):
+            if signature(i) == syndrome:
+                corrected ^= 1 << i
+                break
+    result = {f"out{i}": bool((corrected >> i) & 1) for i in range(DATA_BITS)}
+    rch = 0
+    for j in range(SYN_BITS):
+        parity = 0
+        for i in range(DATA_BITS):
+            if (signature(i) >> j) & 1:
+                parity ^= (corrected >> i) & 1
+        result[f"rch{j}"] = bool(parity)
+        rch |= parity << j
+    result["rch5"] = bin(corrected).count("1") % 2 == 1
+    result["errs"] = single
+    result["errd"] = uncorr
+    any_mismatch = any(
+        ((rch >> j) & 1) != ((sch >> j) & 1) for j in range(SYN_BITS)
+    )
+    result["erra"] = single or uncorr or any_mismatch
+    return result

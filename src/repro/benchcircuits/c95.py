@@ -1,0 +1,74 @@
+""""C95" — the paper's small circuit between the full adder and the ALU.
+
+No circuit named C95 survives in the public benchmark corpora, so this
+is a surrogate sized for the same slot in the paper's ordering: a 4-bit
+carry-lookahead adder with group propagate/generate and zero/overflow
+flags. Nine primary inputs (two 4-bit operands plus carry-in), eight
+primary outputs, ~60 gates — small enough for exhaustive validation and
+for the complete non-feedback bridging fault set to be enumerated, which
+is how the paper uses its small circuits.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+
+WIDTH = 4
+
+
+def build_c95() -> Circuit:
+    b = CircuitBuilder("c95")
+    a_bits = b.input_vector("a", WIDTH)
+    b_bits = b.input_vector("b", WIDTH)
+    cin = b.input("cin")
+
+    # Per-bit propagate / generate.
+    p = [b.or_(a_bits[i], b_bits[i], name=f"p{i}") for i in range(WIDTH)]
+    g = [b.and_(a_bits[i], b_bits[i], name=f"g{i}") for i in range(WIDTH)]
+
+    # Carry lookahead: c[i+1] = g_i | p_i g_{i-1} | ... | p_i..p_0 cin.
+    carries = [cin]
+    for i in range(WIDTH):
+        terms = [g[i]]
+        for j in range(i - 1, -1, -1):
+            terms.append(b.and_tree(p[j + 1 : i + 1] + [g[j]]))
+        terms.append(b.and_tree(p[0 : i + 1] + [cin]))
+        carries.append(b.or_tree(terms, name=f"c{i + 1}"))
+
+    # Sum bits.
+    sums = []
+    for i in range(WIDTH):
+        half = b.xor(a_bits[i], b_bits[i], name=f"h{i}")
+        sums.append(b.xor(half, carries[i], name=f"s{i}"))
+        b.output(sums[i])
+    b.output(carries[WIDTH])  # cout
+
+    # Group propagate / generate (carry-lookahead unit interface).
+    b.output(b.and_tree(p, name="gp"))
+    gg_terms = [g[WIDTH - 1]]
+    for j in range(WIDTH - 2, -1, -1):
+        gg_terms.append(b.and_tree(p[j + 1 : WIDTH] + [g[j]]))
+    b.output(b.or_tree(gg_terms, name="gg"))
+
+    # Zero flag over the sum bits.
+    b.output(b.nor(sums[0], sums[1], sums[2], sums[3], name="zero"))
+    return b.build()
+
+
+def c95_reference(a: int, b: int, cin: bool) -> dict[str, bool]:
+    """Behavioural oracle for a full PI assignment (operands as ints)."""
+    total = a + b + int(cin)
+    result: dict[str, bool] = {}
+    for i in range(WIDTH):
+        result[f"s{i}"] = bool((total >> i) & 1)
+    result[f"c{WIDTH}"] = bool(total >> WIDTH)
+    p = [bool(((a >> i) & 1) | ((b >> i) & 1)) for i in range(WIDTH)]
+    g = [bool(((a >> i) & 1) & ((b >> i) & 1)) for i in range(WIDTH)]
+    result["gp"] = all(p)
+    gg = g[WIDTH - 1]
+    for j in range(WIDTH - 2, -1, -1):
+        gg = gg or (all(p[j + 1 : WIDTH]) and g[j])
+    result["gg"] = gg
+    result["zero"] = (total & (2**WIDTH - 1)) == 0
+    return result

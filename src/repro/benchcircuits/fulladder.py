@@ -1,0 +1,29 @@
+"""The full-adder benchmark — second circuit in the paper's suite.
+
+The textbook two-XOR / two-AND / one-OR realization. With only three
+inputs its entire behaviour is exhaustively checkable, which makes it
+the anchor circuit for cross-validating Difference Propagation against
+the truth-table simulator.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+
+
+def build_fulladder() -> Circuit:
+    b = CircuitBuilder("fulladder")
+    a, bb, cin = b.inputs("a", "b", "cin")
+    half = b.xor(a, bb, name="half")
+    b.output(b.xor(half, cin, name="sum"))
+    carry_ab = b.and_(a, bb, name="carry_ab")
+    carry_ci = b.and_(half, cin, name="carry_ci")
+    b.output(b.or_(carry_ab, carry_ci, name="cout"))
+    return b.build()
+
+
+def fulladder_reference(a: bool, b: bool, cin: bool) -> dict[str, bool]:
+    """Behavioural oracle: ``{'sum': ..., 'cout': ...}``."""
+    total = int(a) + int(b) + int(cin)
+    return {"sum": bool(total & 1), "cout": total >= 2}

@@ -1,0 +1,79 @@
+"""Cached access to the benchmark suite, in the paper's size order."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.circuit.netlist import Circuit
+from repro.benchcircuits.c17 import build_c17
+from repro.benchcircuits.fulladder import build_fulladder
+from repro.benchcircuits.c95 import build_c95
+from repro.benchcircuits.alu74181 import build_alu181
+from repro.benchcircuits.c432 import build_c432
+from repro.benchcircuits.c499 import build_c499
+from repro.benchcircuits.c1355 import build_c1355
+from repro.benchcircuits.c1908 import build_c1908
+
+_BUILDERS: dict[str, Callable[[], Circuit]] = {
+    "c17": build_c17,
+    "fulladder": build_fulladder,
+    "c95": build_c95,
+    "alu181": build_alu181,
+    "c432": build_c432,
+    "c499": build_c499,
+    "c1355": build_c1355,
+    "c1908": build_c1908,
+}
+
+#: The suite in the paper's "increasing order of size".
+CIRCUIT_NAMES: tuple[str, ...] = tuple(_BUILDERS)
+
+#: Circuits small enough (≤ 14 PIs) for exhaustive truth-table validation.
+SMALL_NAMES: tuple[str, ...] = ("c17", "fulladder", "c95", "alu181")
+
+_NOTES: dict[str, str] = {
+    "c17": "exact ISCAS-85 netlist",
+    "fulladder": "textbook full adder",
+    "c95": "surrogate: 4-bit carry-lookahead adder with flags",
+    "alu181": "74LS181, functionally exact gate network",
+    "c432": "surrogate: 32-channel priority interrupt controller",
+    "c499": "surrogate: 32-bit SEC corrector",
+    "c1355": "XOR→4-NAND expansion of c499 (paper's exact relationship)",
+    "c1908": "surrogate: 16-bit SEC/DED corrector, NAND-expanded",
+}
+
+_CACHE: dict[str, Circuit] = {}
+
+
+def get_circuit(name: str) -> Circuit:
+    """Build (once) and return the named benchmark circuit.
+
+    The returned object is shared — treat it as immutable, or take a
+    :meth:`~repro.circuit.netlist.Circuit.copy` before modifying.
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(CIRCUIT_NAMES)}"
+        ) from None
+    if name not in _CACHE:
+        _CACHE[name] = builder()
+    return _CACHE[name]
+
+
+def circuit_notes(name: str) -> str:
+    """One-line provenance note (exact netlist vs. documented surrogate)."""
+    return _NOTES[name]
+
+
+def paper_suite() -> Iterator[Circuit]:
+    """All eight circuits, in the paper's order."""
+    for name in CIRCUIT_NAMES:
+        yield get_circuit(name)
+
+
+def small_suite() -> Iterator[Circuit]:
+    """The exhaustively-checkable circuits (≤ 14 primary inputs)."""
+    for name in SMALL_NAMES:
+        yield get_circuit(name)

@@ -1,0 +1,46 @@
+"""Gate-level combinational netlist substrate.
+
+Everything in the reproduction operates on :class:`Circuit` — a named,
+acyclic network of primitive gates over named nets:
+
+* :mod:`~repro.circuit.gates` — gate types and their Boolean semantics
+  (both single-bit and bit-parallel word evaluation).
+* :mod:`~repro.circuit.netlist` — the :class:`Circuit` container with
+  levelization, cones, validation, and evaluation.
+* :mod:`~repro.circuit.builder` — a fluent programmatic constructor.
+* :mod:`~repro.circuit.iscas` — ISCAS-85 ``.bench`` parser and writer.
+* :mod:`~repro.circuit.transforms` — XOR→NAND expansion (the C499→C1355
+  relation) and n-input → 2-input decomposition.
+* :mod:`~repro.circuit.layout` — the paper's §2.2 pseudo-layout
+  coordinate estimator and wire-distance metric.
+"""
+
+from repro.circuit.gates import GateType, eval_gate, eval_gate_words
+from repro.circuit.netlist import Circuit, Gate, CircuitError
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.iscas import parse_bench, parse_bench_file, write_bench
+from repro.circuit.transforms import (
+    decompose_to_two_input,
+    expand_xor_to_nand,
+)
+from repro.circuit.layout import estimate_coordinates, wire_distance
+from repro.circuit.equivalence import EquivalenceReport, circuits_equivalent
+
+__all__ = [
+    "GateType",
+    "eval_gate",
+    "eval_gate_words",
+    "Circuit",
+    "Gate",
+    "CircuitError",
+    "CircuitBuilder",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "decompose_to_two_input",
+    "expand_xor_to_nand",
+    "estimate_coordinates",
+    "wire_distance",
+    "EquivalenceReport",
+    "circuits_equivalent",
+]

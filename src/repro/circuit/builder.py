@@ -1,0 +1,169 @@
+"""Fluent construction of :class:`~repro.circuit.netlist.Circuit` objects.
+
+The builder exists for the programmatic benchmark generators: it handles
+fresh-name generation and offers one method per gate type, each
+returning the new net's name so expressions compose::
+
+    b = CircuitBuilder("fulladder")
+    a, bb, cin = b.input("a"), b.input("b"), b.input("cin")
+    s1 = b.xor(a, bb)
+    b.output(b.xor(s1, cin, name="sum"))
+    b.output(b.or_(b.and_(a, bb), b.and_(s1, cin), name="cout"))
+    circuit = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+
+class CircuitBuilder:
+    """Incrementally assemble a circuit with auto-named intermediate nets."""
+
+    def __init__(self, name: str) -> None:
+        self._circuit = Circuit(name)
+        self._counter = 0
+
+    def fresh(self, prefix: str = "n") -> str:
+        """An unused net name like ``n17``."""
+        while True:
+            self._counter += 1
+            candidate = f"{prefix}{self._counter}"
+            if candidate not in self._circuit:
+                return candidate
+
+    # ------------------------------------------------------------------
+    # Terminals
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> str:
+        return self._circuit.add_input(name)
+
+    def inputs(self, *names: str) -> list[str]:
+        return [self._circuit.add_input(n) for n in names]
+
+    def input_vector(self, prefix: str, width: int) -> list[str]:
+        """Declare ``prefix0 .. prefix{width-1}`` as inputs (LSB first)."""
+        return [self._circuit.add_input(f"{prefix}{i}") for i in range(width)]
+
+    def output(self, net: str) -> str:
+        return self._circuit.add_output(net)
+
+    def outputs(self, *nets: str) -> list[str]:
+        return [self._circuit.add_output(n) for n in nets]
+
+    # ------------------------------------------------------------------
+    # Gates
+    # ------------------------------------------------------------------
+    def gate(self, gate_type: GateType, fanins: Sequence[str], name: str | None = None) -> str:
+        return self._circuit.add_gate(
+            name or self.fresh(), gate_type, fanins
+        )
+
+    def buf(self, a: str, name: str | None = None) -> str:
+        return self.gate(GateType.BUF, [a], name)
+
+    def not_(self, a: str, name: str | None = None) -> str:
+        return self.gate(GateType.NOT, [a], name)
+
+    def and_(self, *fanins: str, name: str | None = None) -> str:
+        return self.gate(GateType.AND, fanins, name)
+
+    def or_(self, *fanins: str, name: str | None = None) -> str:
+        return self.gate(GateType.OR, fanins, name)
+
+    def nand(self, *fanins: str, name: str | None = None) -> str:
+        return self.gate(GateType.NAND, fanins, name)
+
+    def nor(self, *fanins: str, name: str | None = None) -> str:
+        return self.gate(GateType.NOR, fanins, name)
+
+    def xor(self, *fanins: str, name: str | None = None) -> str:
+        return self.gate(GateType.XOR, fanins, name)
+
+    def xnor(self, *fanins: str, name: str | None = None) -> str:
+        return self.gate(GateType.XNOR, fanins, name)
+
+    def const0(self, name: str | None = None) -> str:
+        return self.gate(GateType.CONST0, [], name)
+
+    def const1(self, name: str | None = None) -> str:
+        return self.gate(GateType.CONST1, [], name)
+
+    # ------------------------------------------------------------------
+    # Composite helpers used by several benchmark generators
+    # ------------------------------------------------------------------
+    def xor_tree(self, nets: Sequence[str], name: str | None = None) -> str:
+        """Balanced tree of 2-input XORs over ``nets`` (parity)."""
+        if not nets:
+            raise ValueError("xor_tree needs at least one operand")
+        layer = list(nets)
+        while len(layer) > 1:
+            nxt: list[str] = []
+            for i in range(0, len(layer) - 1, 2):
+                last_pair = len(layer) <= 2
+                nxt.append(
+                    self.xor(layer[i], layer[i + 1], name=name if last_pair else None)
+                )
+            if len(layer) % 2:
+                nxt.append(layer[-1])
+            layer = nxt
+        if name is not None and layer[0] != name:
+            return self.buf(layer[0], name=name)
+        return layer[0]
+
+    def xor_chain(self, nets: Sequence[str], name: str | None = None) -> str:
+        """Linear chain of 2-input XORs (depth n−1, like serial parity)."""
+        if not nets:
+            raise ValueError("xor_chain needs at least one operand")
+        acc = nets[0]
+        for i, net in enumerate(nets[1:]):
+            last = i == len(nets) - 2
+            acc = self.xor(acc, net, name=name if last else None)
+        if name is not None and acc != name:
+            return self.buf(acc, name=name)
+        return acc
+
+    def and_tree(self, nets: Sequence[str], name: str | None = None) -> str:
+        """Balanced tree of 2-input ANDs."""
+        return self._tree(self.and_, nets, name)
+
+    def or_tree(self, nets: Sequence[str], name: str | None = None) -> str:
+        """Balanced tree of 2-input ORs."""
+        return self._tree(self.or_, nets, name)
+
+    def _tree(self, op, nets: Sequence[str], name: str | None) -> str:
+        if not nets:
+            raise ValueError("tree needs at least one operand")
+        layer = list(nets)
+        while len(layer) > 1:
+            nxt: list[str] = []
+            for i in range(0, len(layer) - 1, 2):
+                last_pair = len(layer) <= 2
+                nxt.append(op(layer[i], layer[i + 1], name=name if last_pair else None))
+            if len(layer) % 2:
+                nxt.append(layer[-1])
+            layer = nxt
+        if name is not None and layer[0] != name:
+            return self.buf(layer[0], name=name)
+        return layer[0]
+
+    def mux(self, sel: str, if0: str, if1: str, name: str | None = None) -> str:
+        """2:1 multiplexer: ``sel ? if1 : if0`` built from primitive gates."""
+        nsel = self.not_(sel)
+        return self.or_(self.and_(nsel, if0), self.and_(sel, if1), name=name)
+
+    def full_adder(self, a: str, b: str, cin: str) -> tuple[str, str]:
+        """Gate-level full adder; returns ``(sum, carry_out)``."""
+        axb = self.xor(a, b)
+        total = self.xor(axb, cin)
+        carry = self.or_(self.and_(a, b), self.and_(axb, cin))
+        return total, carry
+
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> Circuit:
+        if validate:
+            self._circuit.validate()
+        return self._circuit

@@ -1,0 +1,163 @@
+"""Primitive gate types and their Boolean semantics.
+
+Two evaluation entry points are provided:
+
+* :func:`eval_gate` — single ``bool`` semantics, used by the behavioural
+  evaluator and the test oracles.
+* :func:`eval_gate_words` — bit-parallel semantics over arbitrarily wide
+  Python integers, used by the exhaustive truth-table simulator where a
+  net's value is one bit per input vector (up to ``2**n`` bits wide).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+
+class GateType(enum.Enum):
+    """Combinational primitives recognized throughout the library."""
+
+    INPUT = "INPUT"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+    BUF = "BUF"
+    NOT = "NOT"
+    AND = "AND"
+    OR = "OR"
+    NAND = "NAND"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+
+    @property
+    def min_arity(self) -> int:
+        return _MIN_ARITY[self]
+
+    @property
+    def max_arity(self) -> int | None:
+        """Maximum fanin count, or ``None`` for unbounded."""
+        return _MAX_ARITY[self]
+
+    @property
+    def is_inverting(self) -> bool:
+        """Whether the gate complements its underlying monotone/parity core."""
+        return self in (GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR)
+
+    @property
+    def base(self) -> "GateType":
+        """The non-inverting core of the gate (NAND → AND, etc.)."""
+        return _BASE[self]
+
+    @property
+    def controlling_value(self) -> bool | None:
+        """Input value that forces the output regardless of other inputs.
+
+        ``False`` for AND/NAND, ``True`` for OR/NOR, ``None`` for
+        XOR/XNOR/BUF/NOT (no controlling value exists).
+        """
+        if self in (GateType.AND, GateType.NAND):
+            return False
+        if self in (GateType.OR, GateType.NOR):
+            return True
+        return None
+
+
+_MIN_ARITY = {
+    GateType.INPUT: 0,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+    GateType.BUF: 1,
+    GateType.NOT: 1,
+    GateType.AND: 2,
+    GateType.OR: 2,
+    GateType.NAND: 2,
+    GateType.NOR: 2,
+    GateType.XOR: 2,
+    GateType.XNOR: 2,
+}
+
+_MAX_ARITY = {
+    GateType.INPUT: 0,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+    GateType.BUF: 1,
+    GateType.NOT: 1,
+    GateType.AND: None,
+    GateType.OR: None,
+    GateType.NAND: None,
+    GateType.NOR: None,
+    GateType.XOR: None,
+    GateType.XNOR: None,
+}
+
+_BASE = {
+    GateType.INPUT: GateType.INPUT,
+    GateType.CONST0: GateType.CONST0,
+    GateType.CONST1: GateType.CONST1,
+    GateType.BUF: GateType.BUF,
+    GateType.NOT: GateType.BUF,
+    GateType.AND: GateType.AND,
+    GateType.NAND: GateType.AND,
+    GateType.OR: GateType.OR,
+    GateType.NOR: GateType.OR,
+    GateType.XOR: GateType.XOR,
+    GateType.XNOR: GateType.XOR,
+}
+
+
+def eval_gate(gate_type: GateType, values: Sequence[bool]) -> bool:
+    """Evaluate one gate on ``bool`` inputs."""
+    if gate_type is GateType.CONST0:
+        return False
+    if gate_type is GateType.CONST1:
+        return True
+    if gate_type is GateType.BUF:
+        return bool(values[0])
+    if gate_type is GateType.NOT:
+        return not values[0]
+    if gate_type is GateType.AND:
+        return all(values)
+    if gate_type is GateType.NAND:
+        return not all(values)
+    if gate_type is GateType.OR:
+        return any(values)
+    if gate_type is GateType.NOR:
+        return not any(values)
+    if gate_type is GateType.XOR:
+        return sum(map(bool, values)) % 2 == 1
+    if gate_type is GateType.XNOR:
+        return sum(map(bool, values)) % 2 == 0
+    raise ValueError(f"cannot evaluate gate type {gate_type}")
+
+
+def eval_gate_words(gate_type: GateType, operands: Sequence[int], mask: int) -> int:
+    """Evaluate one gate bit-parallel over integer words.
+
+    ``mask`` is the all-ones word for the active width; complements are
+    taken against it so results stay non-negative Python ints.
+    """
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return mask
+    if gate_type is GateType.BUF:
+        return operands[0]
+    if gate_type is GateType.NOT:
+        return operands[0] ^ mask
+    if gate_type in (GateType.AND, GateType.NAND):
+        word = mask
+        for operand in operands:
+            word &= operand
+        return word ^ mask if gate_type is GateType.NAND else word
+    if gate_type in (GateType.OR, GateType.NOR):
+        word = 0
+        for operand in operands:
+            word |= operand
+        return word ^ mask if gate_type is GateType.NOR else word
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        word = 0
+        for operand in operands:
+            word ^= operand
+        return word ^ mask if gate_type is GateType.XNOR else word
+    raise ValueError(f"cannot evaluate gate type {gate_type}")

@@ -1,0 +1,142 @@
+"""ISCAS-85 ``.bench`` netlist reader and writer.
+
+The format (Brglez & Fujiwara, ISCAS 1985) is line-oriented::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G22)
+    G10 = NAND(G1, G3)
+    G11 = DFF(G10)        # sequential elements are rejected here
+
+Gate names are case-insensitive; ``BUFF`` is accepted as a synonym for
+``BUF``. The writer emits gates in topological order, so a written file
+always parses back into an identical circuit (round-trip tested).
+
+When a net is declared ``OUTPUT`` before its driver appears (the usual
+ISCAS convention) the parser defers output registration until the whole
+file is read.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, CircuitError
+
+_GATE_ALIASES = {
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "AND": GateType.AND,
+    "OR": GateType.OR,
+    "NAND": GateType.NAND,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+_ASSIGN_RE = re.compile(r"^\s*([^\s=]+)\s*=\s*([A-Za-z01]+)\s*\((.*)\)\s*$")
+_DECL_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([^\s()]+)\s*\)\s*$", re.IGNORECASE)
+
+
+class BenchFormatError(CircuitError):
+    """Raised on malformed ``.bench`` input."""
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` source text into a :class:`Circuit`.
+
+    Gates may appear in any order in the file; they are topologically
+    sorted before insertion.
+    """
+    inputs: list[str] = []
+    outputs: list[str] = []
+    gates: dict[str, tuple[GateType, tuple[str, ...]]] = {}
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            kind, net = decl.group(1).upper(), decl.group(2)
+            (inputs if kind == "INPUT" else outputs).append(net)
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if assign:
+            net, op, arglist = assign.groups()
+            op = op.upper()
+            if op == "DFF":
+                raise BenchFormatError(
+                    f"line {lineno}: sequential element DFF not supported "
+                    "(this library is combinational-only, as is the paper)"
+                )
+            gate_type = _GATE_ALIASES.get(op)
+            if gate_type is None:
+                raise BenchFormatError(f"line {lineno}: unknown gate type {op!r}")
+            fanins = tuple(a.strip() for a in arglist.split(",") if a.strip())
+            if net in gates:
+                raise BenchFormatError(f"line {lineno}: net {net!r} redefined")
+            gates[net] = (gate_type, fanins)
+            continue
+        raise BenchFormatError(f"line {lineno}: cannot parse {raw.strip()!r}")
+
+    circuit = Circuit(name)
+    for net in inputs:
+        circuit.add_input(net)
+
+    # Topological insertion (file order is not guaranteed topological).
+    pending = dict(gates)
+    placed: set[str] = set(inputs)
+    while pending:
+        ready = [
+            net
+            for net, (_t, fanins) in pending.items()
+            if all(f in placed for f in fanins)
+        ]
+        if not ready:
+            unresolved = sorted(pending)[:5]
+            raise BenchFormatError(
+                f"cyclic or dangling nets (first few: {unresolved})"
+            )
+        for net in ready:
+            gate_type, fanins = pending.pop(net)
+            circuit.add_gate(net, gate_type, fanins)
+            placed.add(net)
+
+    for net in outputs:
+        circuit.add_output(net)
+    return circuit
+
+
+def parse_bench_file(path: str | Path) -> Circuit:
+    """Parse a ``.bench`` file; the circuit is named after the file stem."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: Circuit, header: Iterable[str] = ()) -> str:
+    """Serialize a circuit to ``.bench`` text (topological gate order)."""
+    lines = [f"# {circuit.name}"]
+    lines.extend(f"# {note}" for note in header)
+    stats = circuit.stats()
+    lines.append(
+        f"# {stats['inputs']} inputs, {stats['outputs']} outputs, "
+        f"{stats['gates']} gates, depth {stats['depth']}"
+    )
+    lines.extend(f"INPUT({net})" for net in circuit.inputs)
+    lines.extend(f"OUTPUT({net})" for net in circuit.outputs)
+    for gate in circuit.gates():
+        args = ", ".join(gate.fanins)
+        lines.append(f"{gate.name} = {gate.gate_type.value}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def write_bench_file(circuit: Circuit, path: str | Path, header: Iterable[str] = ()) -> None:
+    Path(path).write_text(write_bench(circuit, header))

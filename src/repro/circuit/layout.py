@@ -1,0 +1,55 @@
+"""Pseudo-layout coordinate estimation (paper §2.2).
+
+The benchmark circuits come without layouts, so the paper estimates wire
+positions purely from the netlist:
+
+* the **X coordinate** of a gate is its distance in levels from the
+  primary inputs;
+* the *n* primary inputs get **Y coordinates** ``0 .. n-1`` in their
+  declared order (the paper argues the declared order is meaningful);
+* level by level, each gate's Y coordinate is the *average* of the Y
+  coordinates of all the nets feeding it — "the aggregate of all
+  possible layouts for that PI ordering".
+
+Wire distance between two nets is then the ordinary Euclidean distance
+between their driver coordinates; the bridging-fault sampler normalizes
+these distances over the candidate fault set.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.circuit.netlist import Circuit
+
+
+def estimate_coordinates(circuit: Circuit) -> dict[str, tuple[float, float]]:
+    """``net -> (x, y)`` estimated coordinates for every net.
+
+    Constant-generator gates (no fanins) sit at level 0 with the average
+    PI Y coordinate, which keeps them out of the way without special
+    cases downstream.
+    """
+    levels = circuit.levels()
+    coords: dict[str, tuple[float, float]] = {}
+    for index, net in enumerate(circuit.inputs):
+        coords[net] = (0.0, float(index))
+    default_y = (circuit.num_inputs - 1) / 2 if circuit.num_inputs else 0.0
+    # Insertion order is topological, so fanin coordinates always exist.
+    for gate in circuit.gates():
+        if gate.fanins:
+            y = sum(coords[f][1] for f in gate.fanins) / len(gate.fanins)
+        else:
+            y = default_y
+        coords[gate.name] = (float(levels[gate.name]), y)
+    return coords
+
+
+def wire_distance(
+    coords: Mapping[str, tuple[float, float]], net_a: str, net_b: str
+) -> float:
+    """Euclidean distance between the estimated positions of two nets."""
+    ax, ay = coords[net_a]
+    bx, by = coords[net_b]
+    return math.hypot(ax - bx, ay - by)

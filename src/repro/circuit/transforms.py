@@ -1,0 +1,104 @@
+"""Structural netlist transforms.
+
+Two transforms from the paper:
+
+* :func:`decompose_to_two_input` — model an *n*-input gate as a chain of
+  *n−1* two-input gates (§3 of the paper, used to keep the Difference
+  Propagation gate equations quadratic rather than exponential);
+* :func:`expand_xor_to_nand` — replace every 2-input XOR by its
+  four-NAND equivalent. Applying this to our C499 surrogate produces the
+  C1355 surrogate, reproducing the paper's controlled experiment
+  ("C1355 is identical to C499 except with Exclusive-ORs expanded into
+  their four-nand equivalents").
+
+Both transforms preserve every original net name (primary inputs,
+outputs, and each original gate's output), so fault sites and analysis
+results remain addressable across the transform.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+
+def _fresh(circuit: Circuit, base: str) -> str:
+    """A net name derived from ``base`` not yet present in ``circuit``."""
+    i = 0
+    while True:
+        candidate = f"{base}__x{i}"
+        if candidate not in circuit:
+            return candidate
+        i += 1
+
+
+_CHAIN_CORE = {
+    GateType.AND: GateType.AND,
+    GateType.NAND: GateType.AND,
+    GateType.OR: GateType.OR,
+    GateType.NOR: GateType.OR,
+    GateType.XOR: GateType.XOR,
+    GateType.XNOR: GateType.XOR,
+}
+
+
+def decompose_to_two_input(circuit: Circuit, name: str | None = None) -> Circuit:
+    """Rewrite every gate with more than two fanins as a 2-input chain.
+
+    The chain uses the gate's non-inverting core for the intermediate
+    stages and the original (possibly inverting) type for the final
+    stage, so ``NAND(a,b,c)`` becomes ``NAND(AND(a,b), c)``.
+    """
+    result = Circuit(name or f"{circuit.name}_2in")
+    for net in circuit.inputs:
+        result.add_input(net)
+    for gate in circuit.gates():
+        if len(gate.fanins) <= 2:
+            result.add_gate(gate.name, gate.gate_type, gate.fanins)
+            continue
+        core = _CHAIN_CORE[gate.gate_type]
+        acc = gate.fanins[0]
+        for operand in gate.fanins[1:-1]:
+            intermediate = _fresh(result, gate.name)
+            result.add_gate(intermediate, core, (acc, operand))
+            acc = intermediate
+        result.add_gate(gate.name, gate.gate_type, (acc, gate.fanins[-1]))
+    for net in circuit.outputs:
+        result.add_output(net)
+    return result
+
+
+def expand_xor_to_nand(circuit: Circuit, name: str | None = None) -> Circuit:
+    """Replace 2-input XOR/XNOR gates by their NAND-network equivalents.
+
+    ``XOR(a,b)`` becomes the textbook four-NAND network::
+
+        t  = NAND(a, b)
+        ta = NAND(a, t)
+        tb = NAND(b, t)
+        y  = NAND(ta, tb)
+
+    ``XNOR`` additionally inverts the result with ``NAND(y, y)`` folded
+    into a NOT gate. Gates with more than two fanins are decomposed to
+    2-input chains first.
+    """
+    two_input = decompose_to_two_input(circuit, name=circuit.name)
+    result = Circuit(name or f"{circuit.name}_nand")
+    for net in two_input.inputs:
+        result.add_input(net)
+    for gate in two_input.gates():
+        if gate.gate_type not in (GateType.XOR, GateType.XNOR):
+            result.add_gate(gate.name, gate.gate_type, gate.fanins)
+            continue
+        a, b = gate.fanins
+        t = result.add_gate(_fresh(result, gate.name), GateType.NAND, (a, b))
+        ta = result.add_gate(_fresh(result, gate.name), GateType.NAND, (a, t))
+        tb = result.add_gate(_fresh(result, gate.name), GateType.NAND, (b, t))
+        if gate.gate_type is GateType.XOR:
+            result.add_gate(gate.name, GateType.NAND, (ta, tb))
+        else:
+            y = result.add_gate(_fresh(result, gate.name), GateType.NAND, (ta, tb))
+            result.add_gate(gate.name, GateType.NOT, (y,))
+    for net in two_input.outputs:
+        result.add_output(net)
+    return result

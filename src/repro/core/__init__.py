@@ -1,0 +1,87 @@
+"""Difference Propagation — the paper's primary contribution.
+
+Difference Propagation computes, for any logical fault, the **complete
+test set** as an OBDD, by propagating *difference functions*
+``Δf = f ⊕ F`` (good XOR faulty) from the fault site to the primary
+outputs using per-gate identities over GF(2) (the paper's Table 1, in
+:mod:`~repro.core.difference`).
+
+Public surface:
+
+* :class:`~repro.core.symbolic.CircuitFunctions` — the fault-free
+  functions of every net as shared OBDDs (optionally with cut-point
+  decomposition for very large circuits);
+* :class:`~repro.core.engine.DifferencePropagation` — the propagation
+  engine; :meth:`analyze` returns a
+  :class:`~repro.core.metrics.FaultAnalysis` with the complete test
+  set, exact detectability, per-PO observability, syndrome-based upper
+  bound and adherence;
+* :mod:`~repro.core.metrics` — syndromes, detectability bounds,
+  adherence, and the bridge↔stuck-at equivalence test.
+
+Example
+-------
+>>> from repro.benchcircuits import get_circuit
+>>> from repro.core import DifferencePropagation
+>>> from repro.faults import collapsed_checkpoint_faults
+>>> circuit = get_circuit("c17")
+>>> dp = DifferencePropagation(circuit)
+>>> fault = collapsed_checkpoint_faults(circuit)[0]
+>>> analysis = dp.analyze(fault)
+>>> float(analysis.detectability)  # doctest: +SKIP
+0.25
+"""
+
+from repro.core.symbolic import CircuitFunctions
+from repro.core.difference import (
+    TABLE1,
+    gate_output_difference,
+)
+from repro.core.engine import DifferencePropagation
+from repro.core.faulty_sim import SymbolicFaultSimulator
+from repro.core.coverage import (
+    CompactionResult,
+    compact_test_set,
+    coverage,
+    escape_probability,
+    random_test_length,
+    random_test_length_for_set,
+)
+from repro.core.redundancy import (
+    RedundancyKind,
+    RedundantFault,
+    classify_redundancies,
+    redundancy_summary,
+)
+from repro.core.metrics import (
+    FaultAnalysis,
+    adherence,
+    bridge_excitation,
+    bridge_site_function,
+    detectability_upper_bound,
+    is_stuck_at_equivalent,
+)
+
+__all__ = [
+    "CircuitFunctions",
+    "TABLE1",
+    "gate_output_difference",
+    "DifferencePropagation",
+    "SymbolicFaultSimulator",
+    "FaultAnalysis",
+    "adherence",
+    "bridge_excitation",
+    "bridge_site_function",
+    "detectability_upper_bound",
+    "is_stuck_at_equivalent",
+    "CompactionResult",
+    "compact_test_set",
+    "coverage",
+    "escape_probability",
+    "random_test_length",
+    "random_test_length_for_set",
+    "RedundancyKind",
+    "RedundantFault",
+    "classify_redundancies",
+    "redundancy_summary",
+]

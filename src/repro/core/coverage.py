@@ -1,0 +1,142 @@
+"""Test-set construction and evaluation on top of complete test sets.
+
+Because Difference Propagation delivers each fault's *complete* test
+set, classic deterministic-test questions become set manipulations:
+
+* :func:`compact_test_set` — greedy covering: a small vector set
+  detecting every detectable fault in a list (exact ATPG with built-in
+  redundancy identification);
+* :func:`coverage` — exact fault coverage of *any* given vector set,
+  evaluated on the OBDDs (no fault simulation needed);
+* :func:`escape_probability` / :func:`random_test_length` — the
+  classic testability application of exact detectabilities: with
+  per-vector detection probability δ, N random vectors miss a fault
+  with probability (1−δ)^N; invert for a target confidence. This is
+  what makes the paper's detectability profiles actionable for
+  random-pattern testing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.engine import DifferencePropagation
+from repro.core.metrics import Fault, FaultAnalysis
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """Outcome of greedy test-set compaction."""
+
+    tests: tuple[Mapping[str, bool], ...]
+    detected: tuple[Fault, ...]
+    redundant: tuple[Fault, ...]
+
+    @property
+    def num_tests(self) -> int:
+        return len(self.tests)
+
+
+def compact_test_set(
+    engine: DifferencePropagation, faults: Sequence[Fault]
+) -> CompactionResult:
+    """Greedy covering over complete test sets.
+
+    Repeatedly take the hardest uncovered fault (fewest tests), pick
+    one of its detecting vectors, and drop every fault that vector
+    detects — evaluating detection symbolically against each pending
+    fault's test-set OBDD. Faults with empty test sets are returned as
+    proved-redundant.
+    """
+    analyses: dict[Fault, FaultAnalysis] = {}
+    redundant: list[Fault] = []
+    for fault in faults:
+        analysis = engine.analyze(fault)
+        if analysis.is_detectable:
+            analyses[fault] = analysis
+        else:
+            redundant.append(fault)
+
+    tests: list[Mapping[str, bool]] = []
+    detected: list[Fault] = []
+    pending = dict(analyses)
+    while pending:
+        hardest = min(pending, key=lambda f: pending[f].test_count())
+        vector = pending[hardest].pick_test()
+        assert vector is not None  # detectable by construction
+        tests.append(vector)
+        covered = [
+            fault
+            for fault, analysis in pending.items()
+            if analysis.tests.evaluate(vector)
+        ]
+        detected.extend(covered)
+        for fault in covered:
+            del pending[fault]
+    return CompactionResult(
+        tests=tuple(tests),
+        detected=tuple(detected),
+        redundant=tuple(redundant),
+    )
+
+
+def coverage(
+    engine: DifferencePropagation,
+    faults: Sequence[Fault],
+    tests: Iterable[Mapping[str, bool]],
+) -> tuple[int, int]:
+    """``(detected, detectable)`` for an arbitrary vector set.
+
+    Detection is decided exactly by evaluating each fault's complete
+    test set at each vector.
+    """
+    vectors = list(tests)
+    detected = 0
+    detectable = 0
+    for fault in faults:
+        analysis = engine.analyze(fault)
+        if not analysis.is_detectable:
+            continue
+        detectable += 1
+        if any(analysis.tests.evaluate(v) for v in vectors):
+            detected += 1
+    return detected, detectable
+
+
+def escape_probability(detectability: Fraction | float, num_vectors: int) -> float:
+    """Probability that ``num_vectors`` uniform random vectors all miss."""
+    if num_vectors < 0:
+        raise ValueError("num_vectors must be non-negative")
+    return float((1 - float(detectability)) ** num_vectors)
+
+
+def random_test_length(
+    detectability: Fraction | float, confidence: float = 0.999
+) -> int:
+    """Vectors needed to detect a fault with the given confidence.
+
+    ``ceil(ln(1-confidence) / ln(1-δ))`` — the reason the paper's
+    low-detectability tail matters: test length is driven by the
+    *hardest* faults, not the mean.
+    """
+    delta = float(detectability)
+    if not 0.0 < delta <= 1.0:
+        raise ValueError("detectability must be in (0, 1]")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if delta == 1.0:
+        return 1
+    return max(1, math.ceil(math.log(1.0 - confidence) / math.log(1.0 - delta)))
+
+
+def random_test_length_for_set(
+    detectabilities: Iterable[Fraction | float], confidence: float = 0.999
+) -> int:
+    """Vectors needed so *every* detectable fault reaches the confidence."""
+    lengths = [
+        random_test_length(d, confidence) for d in detectabilities if d > 0
+    ]
+    return max(lengths, default=0)

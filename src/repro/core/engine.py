@@ -1,0 +1,142 @@
+"""The Difference Propagation engine.
+
+One engine instance amortizes the circuit's good functions (and the
+underlying OBDD manager) across an entire fault campaign:
+
+1. **initialize** — seed the difference function at the fault site(s):
+   ``Δf = f ⊕ v`` for a stuck-at line, or the asymmetric disturbance
+   pair for a bridge (``Δf_u = f_u·f̄_v`` etc.);
+2. **propagate** — sweep the gates in topological order, computing each
+   output difference from the input goods and differences via the
+   Table 1 identities, skipping every gate whose inputs carry no
+   difference ("in a manner analogous to selective trace, calculations
+   are only performed as long as difference information exists");
+3. **collect** — the union of the primary-output differences is
+   "identically the complete test set for the fault".
+
+Long campaigns grow the shared manager monotonically (ROBDD nodes are
+never freed); when the node store crosses ``rebuild_node_limit`` the
+engine transparently rebuilds the good functions in a fresh manager.
+Functions inside previously returned analyses remain valid — they hold
+a reference to their own manager.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.bdd.function import Function
+from repro.bdd.manager import FALSE
+from repro.circuit.netlist import Circuit
+from repro.core.difference import gate_output_difference
+from repro.core.metrics import Fault, FaultAnalysis
+from repro.core.symbolic import CircuitFunctions
+from repro.faults.bridging import BridgeKind, BridgingFault
+from repro.faults.multiple import MultipleStuckAtFault
+from repro.faults.stuck_at import StuckAtFault
+
+
+class DifferencePropagation:
+    """Exact (or cut-point-approximate) fault analysis for one circuit."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        functions: CircuitFunctions | None = None,
+        order: Sequence[str] | None = None,
+        decompose_threshold: int | None = None,
+        rebuild_node_limit: int = 4_000_000,
+    ) -> None:
+        self.circuit = circuit
+        self.functions = functions or CircuitFunctions(
+            circuit, order=order, decompose_threshold=decompose_threshold
+        )
+        self.rebuild_node_limit = rebuild_node_limit
+
+    # ------------------------------------------------------------------
+    def analyze(self, fault: Fault) -> FaultAnalysis:
+        """Complete test set and observability of one fault."""
+        self._maybe_rebuild()
+        functions = self.functions
+        m = functions.manager
+        stem_deltas, branch_deltas = self._initialize(fault)
+
+        deltas: dict[str, int] = dict(stem_deltas)
+        for gate in self.circuit.gates():
+            if gate.name in stem_deltas:
+                continue  # the fault pins this net's difference
+            goods: list[int] | None = None
+            input_deltas: list[int] = []
+            live = False
+            for pin, fanin in enumerate(gate.fanins):
+                delta = branch_deltas.get((gate.name, pin))
+                if delta is None:
+                    delta = deltas.get(fanin, FALSE)
+                if delta != FALSE:
+                    live = True
+                input_deltas.append(delta)
+            if not live:
+                continue
+            goods = [functions.node(f) for f in gate.fanins]
+            out_delta = gate_output_difference(
+                m, gate.gate_type, goods, input_deltas
+            )
+            if out_delta != FALSE:
+                deltas[gate.name] = out_delta
+
+        po_deltas: dict[str, Function] = {}
+        tests_node = FALSE
+        for po in self.circuit.outputs:
+            delta = deltas.get(po, FALSE)
+            if delta != FALSE:
+                po_deltas[po] = Function(m, delta)
+                tests_node = m.apply_or(tests_node, delta)
+        return FaultAnalysis(
+            fault=fault, tests=Function(m, tests_node), po_deltas=po_deltas
+        )
+
+    def analyze_all(self, faults: Iterable[Fault]) -> Iterator[FaultAnalysis]:
+        """Analyze a fault list, managing manager growth along the way."""
+        for fault in faults:
+            yield self.analyze(fault)
+
+    # ------------------------------------------------------------------
+    def _initialize(
+        self, fault: Fault
+    ) -> tuple[dict[str, int], dict[tuple[str, int], int]]:
+        """Seed difference functions at the fault site(s)."""
+        functions = self.functions
+        m = functions.manager
+        if isinstance(fault, MultipleStuckAtFault):
+            # Each component pins its site independently: a stuck line
+            # is constant regardless of other faults upstream of it, so
+            # Δf at every site is still f ⊕ v of the fault-free f.
+            stems: dict[str, int] = {}
+            branches: dict[tuple[str, int], int] = {}
+            for component in fault.components:
+                single_stems, single_branches = self._initialize(component)
+                stems.update(single_stems)
+                branches.update(single_branches)
+            return stems, branches
+        if isinstance(fault, StuckAtFault):
+            good = functions.node(fault.line.net)
+            # Δf = f ⊕ v: s-a-0 disturbs where f=1, s-a-1 where f=0.
+            delta = m.apply_not(good) if fault.value else good
+            if fault.line.is_stem:
+                return {fault.line.net: delta}, {}
+            return {}, {(fault.line.sink, fault.line.pin): delta}
+        if isinstance(fault, BridgingFault):
+            fa = functions.node(fault.net_a)
+            fb = functions.node(fault.net_b)
+            if fault.kind is BridgeKind.AND:
+                delta_a = m.apply_and(fa, m.apply_not(fb))
+                delta_b = m.apply_and(m.apply_not(fa), fb)
+            else:
+                delta_a = m.apply_and(m.apply_not(fa), fb)
+                delta_b = m.apply_and(fa, m.apply_not(fb))
+            return {fault.net_a: delta_a, fault.net_b: delta_b}, {}
+        raise TypeError(f"unsupported fault type {type(fault).__name__}")
+
+    def _maybe_rebuild(self) -> None:
+        if self.functions.manager.num_nodes > self.rebuild_node_limit:
+            self.functions = self.functions.rebuilt()

@@ -1,0 +1,127 @@
+"""Fault metrics: complete test sets, detectabilities, syndromes,
+upper bounds, adherence, and the bridge↔stuck-at equivalence test.
+
+Definitions (paper §3–§4):
+
+* **detectability** δ — fraction of the input space detecting the
+  fault: ``|T| / 2^n`` for complete test set *T*;
+* **syndrome** *S(ℓ)* — fraction of ones in line ℓ's K-map (Savir);
+* **upper bound** *U* — a stuck-at-0 fault needs a one on its line, so
+  δ ≤ *S(ℓ)*; stuck-at-1 dually δ ≤ 1−*S(ℓ)*; a bridge needs the two
+  wires to disagree, so δ ≤ density(``f_u ⊕ f_v``);
+* **adherence** *a = δ / U* — "the proportion of minterms exciting the
+  fault which turn out to be tests"; undefined when *U = 0* (the fault
+  is unexcitable, hence trivially undetectable);
+* a bridging fault **is a (double) stuck-at fault** iff the bridged
+  wire function ``F = f_u OP f_v`` is constant — equivalently its OBDD
+  support is empty (the paper counts "the number of variables in the
+  fault function at the site").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping
+
+from repro.bdd.function import Function
+from repro.core.symbolic import CircuitFunctions
+from repro.faults.bridging import BridgeKind, BridgingFault
+from repro.faults.multiple import MultipleStuckAtFault
+from repro.faults.stuck_at import StuckAtFault
+
+Fault = StuckAtFault | BridgingFault | MultipleStuckAtFault
+
+
+@dataclass(frozen=True)
+class FaultAnalysis:
+    """Everything Difference Propagation derives for one fault."""
+
+    fault: Fault
+    #: the complete test set T = ⋁_PO Δf_PO as a function over the PIs
+    tests: Function
+    #: non-zero PO differences (the fault is observable exactly there)
+    po_deltas: Mapping[str, Function] = field(default_factory=dict)
+
+    @property
+    def is_detectable(self) -> bool:
+        return not self.tests.is_zero
+
+    @property
+    def detectability(self) -> Fraction:
+        """Exact δ (cut-point pseudo-variables, if any, count as inputs)."""
+        return self.tests.density()
+
+    @property
+    def observable_pos(self) -> frozenset[str]:
+        """Primary outputs at which the fault is observable."""
+        return frozenset(self.po_deltas)
+
+    def test_count(self) -> int:
+        """|T| — number of detecting input vectors."""
+        return self.tests.satcount()
+
+    def pick_test(self) -> dict[str, bool] | None:
+        """One detecting vector, or ``None`` for undetectable faults."""
+        return self.tests.pick_minterm()
+
+
+def detectability_upper_bound(functions: CircuitFunctions, fault: Fault) -> Fraction:
+    """Syndrome-based upper bound *U* on the fault's detectability.
+
+    A multiple fault needs at least one component excited, so its bound
+    is the density of the union of the component excitations.
+    """
+    if isinstance(fault, StuckAtFault):
+        syndrome = functions.syndrome(fault.line.net)
+        return (1 - syndrome) if fault.value else syndrome
+    if isinstance(fault, MultipleStuckAtFault):
+        excitation = Function.false(functions.manager)
+        for component in fault.components:
+            site = functions.function(component.line.net)
+            excitation = excitation | (~site if component.value else site)
+        return excitation.density()
+    excitation = bridge_excitation(functions, fault)
+    return excitation.density()
+
+
+def adherence(detectability: Fraction, upper_bound: Fraction) -> Fraction | None:
+    """*a = δ / U*; ``None`` when the fault is unexcitable (*U = 0*)."""
+    if upper_bound == 0:
+        return None
+    return detectability / upper_bound
+
+
+def bridge_excitation(
+    functions: CircuitFunctions, fault: BridgingFault
+) -> Function:
+    """The excitation condition of a bridge: the wires must disagree.
+
+    For either dominance the changed-wire union is ``f_u ⊕ f_v``: an
+    AND bridge disturbs ``u`` where ``f_u·f̄_v`` and ``v`` where
+    ``f̄_u·f_v``; an OR bridge swaps the two; the union is the XOR.
+    """
+    return functions.function(fault.net_a) ^ functions.function(fault.net_b)
+
+
+def bridge_site_function(
+    functions: CircuitFunctions, fault: BridgingFault
+) -> Function:
+    """The faulty function F assumed by both bridged wires."""
+    fa = functions.function(fault.net_a)
+    fb = functions.function(fault.net_b)
+    return (fa & fb) if fault.kind is BridgeKind.AND else (fa | fb)
+
+
+def is_stuck_at_equivalent(
+    functions: CircuitFunctions, fault: BridgingFault
+) -> bool:
+    """True when the bridge behaves as a (double) stuck-at fault.
+
+    The bridged function is a constant — both wires stuck-at-0 for an
+    AND bridge (``f_u·f_v ≡ 0``) or stuck-at-1 for an OR bridge
+    (``f_u + f_v ≡ 1``). Checked exactly as empty OBDD support. Note
+    the paper's caveat: under cut-point decomposition the check sees
+    pseudo-variables and "may not be completely accurate".
+    """
+    return bridge_site_function(functions, fault).is_constant

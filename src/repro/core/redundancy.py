@@ -1,0 +1,74 @@
+"""Redundancy identification and classification.
+
+A fault with an empty complete test set is *undetectable* — the
+corresponding circuitry is redundant with respect to that fault. The
+paper's machinery proves this exactly (the difference OBDD is the
+constant zero), the same capability it credits to CATAPULT-style
+redundancy proving. This module classifies *why* a fault escapes:
+
+* **unexcitable** — the fault condition can never be activated
+  (upper bound U = 0: a stuck-at-0 on a line that is constant zero,
+  or a bridge between wires that never disagree);
+* **unobservable** — excitable (U > 0) but no excitation propagates
+  to any primary output (every difference dies on the way);
+* **unreachable** — the site reaches no primary output structurally
+  (a degenerate sub-case of unobservable, detectable without any
+  functional analysis).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.observability import pos_fed_by_fault
+from repro.core.engine import DifferencePropagation
+from repro.core.metrics import Fault, detectability_upper_bound
+
+
+class RedundancyKind(enum.Enum):
+    UNEXCITABLE = "unexcitable"
+    UNOBSERVABLE = "unobservable"
+    UNREACHABLE = "unreachable"
+
+
+@dataclass(frozen=True)
+class RedundantFault:
+    """An undetectable fault and the reason it escapes."""
+
+    fault: Fault
+    kind: RedundancyKind
+
+    def __str__(self) -> str:
+        return f"{self.fault} [{self.kind.value}]"
+
+
+def classify_redundancies(
+    engine: DifferencePropagation, faults: Sequence[Fault]
+) -> list[RedundantFault]:
+    """All undetectable faults among ``faults``, with their cause."""
+    circuit = engine.circuit
+    findings: list[RedundantFault] = []
+    for fault in faults:
+        analysis = engine.analyze(fault)
+        if analysis.is_detectable:
+            continue
+        if not pos_fed_by_fault(circuit, fault):
+            kind = RedundancyKind.UNREACHABLE
+        elif detectability_upper_bound(engine.functions, fault) == 0:
+            kind = RedundancyKind.UNEXCITABLE
+        else:
+            kind = RedundancyKind.UNOBSERVABLE
+        findings.append(RedundantFault(fault, kind))
+    return findings
+
+
+def redundancy_summary(
+    findings: Iterable[RedundantFault],
+) -> dict[RedundancyKind, int]:
+    """Count findings per class (zero entries included)."""
+    summary = {kind: 0 for kind in RedundancyKind}
+    for finding in findings:
+        summary[finding.kind] += 1
+    return summary

@@ -1,0 +1,72 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+One module per artifact (see DESIGN.md §5 for the index):
+
+========  ==========================================================
+Module    Paper artifact
+========  ==========================================================
+table1    Table 1 — per-gate difference identities (validated)
+fig1      stuck-at detectability histograms (C95, 74LS181)
+fig2      mean stuck-at detectability vs. netlist size
+fig3      stuck-at detectability vs. max levels to PO (C1355)
+fig4      stuck-at adherence histogram (74LS181)
+fig5      proportion of NFBFs with stuck-at behaviour
+fig6      bridging detectability histograms (C95)
+fig7      mean bridging detectability vs. netlist size
+fig8      bridging detectability vs. max levels to PO (C1355)
+pofed     §4.1 — POs fed vs. POs observable
+ext_*     extensions: double-fault & NFBF coverage of single-stuck
+          test sets (refs. [2], [3]); random-pattern test lengths
+========  ==========================================================
+
+Every experiment is a function returning an
+:class:`~repro.experiments.base.ExperimentResult`, parameterized by a
+:class:`~repro.experiments.config.Scale` (``ci`` keeps the large
+circuits' fault sets sampled so the whole suite runs in minutes;
+``paper`` matches the paper's fault-set sizes). Run them all from the
+command line::
+
+    python -m repro.experiments --scale ci --out results/
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.config import Scale, get_scale, SCALES
+from repro.experiments.table1 import run_table1
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.pofed import run_pofed
+from repro.experiments.ext_multiple import run_ext_multiple
+from repro.experiments.ext_bf_coverage import run_ext_bf_coverage
+from repro.experiments.ext_testlength import run_ext_testlength
+from repro.experiments.ext_scoap import run_ext_scoap
+
+ALL_EXPERIMENTS = {
+    "table1": run_table1,
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "pofed": run_pofed,
+    "ext_multiple": run_ext_multiple,
+    "ext_bf_coverage": run_ext_bf_coverage,
+    "ext_testlength": run_ext_testlength,
+    "ext_scoap": run_ext_scoap,
+}
+
+__all__ = [
+    "ExperimentResult",
+    "Scale",
+    "get_scale",
+    "SCALES",
+    "ALL_EXPERIMENTS",
+] + [f"run_{name}" for name in ALL_EXPERIMENTS]

@@ -1,0 +1,31 @@
+"""Common experiment result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Rendered and structured output of one table/figure reproduction.
+
+    ``data`` carries the machine-readable series (used by the tests and
+    by EXPERIMENTS.md generation); ``text`` is the printable rendering
+    whose rows/series mirror what the paper reports; ``findings`` state
+    the qualitative claims the run did (or did not) reproduce.
+    """
+
+    exp_id: str
+    title: str
+    text: str
+    data: Mapping[str, Any] = field(default_factory=dict)
+    findings: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        lines = [f"== {self.exp_id}: {self.title} ==", "", self.text]
+        if self.findings:
+            lines.append("")
+            lines.append("Findings:")
+            lines.extend(f"  - {finding}" for finding in self.findings)
+        return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Shared fault campaigns: run Difference Propagation over a fault set
+once and let every experiment consume the same records.
+
+A campaign reduces each :class:`~repro.core.metrics.FaultAnalysis` to a
+compact :class:`FaultResult` (plain fractions and names, no live OBDD
+handles) so results can be cached across the experiment suite without
+pinning BDD managers in memory.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.bdd.ordering import dfs_fanin_order
+from repro.benchcircuits import get_circuit
+from repro.circuit.netlist import Circuit
+from repro.core.engine import DifferencePropagation
+from repro.core.metrics import (
+    Fault,
+    adherence,
+    detectability_upper_bound,
+    is_stuck_at_equivalent,
+)
+from repro.core.symbolic import CircuitFunctions
+from repro.experiments.config import Scale
+from repro.faults.bridging import BridgeKind, BridgingFault, enumerate_nfbfs
+from repro.faults.sampling import sample_bridging_faults
+from repro.faults.stuck_at import collapsed_checkpoint_faults
+
+
+@dataclass(frozen=True)
+class FaultResult:
+    """One fault's scalar outcomes (safe to cache and aggregate)."""
+
+    fault: Fault
+    detectability: Fraction
+    upper_bound: Fraction
+    observable_pos: frozenset[str]
+    stuck_at_equivalent: bool | None = None  # bridging faults only
+
+    @property
+    def is_detectable(self) -> bool:
+        return self.detectability > 0
+
+    @property
+    def adherence(self) -> Fraction | None:
+        return adherence(self.detectability, self.upper_bound)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All fault results for one circuit / fault model / scale."""
+
+    circuit: Circuit
+    results: tuple[FaultResult, ...]
+    exact: bool  # False when cut-point decomposition was active
+
+    def detectabilities(self) -> list[Fraction]:
+        return [r.detectability for r in self.results]
+
+    def detectable(self) -> list[FaultResult]:
+        return [r for r in self.results if r.is_detectable]
+
+
+_functions_cache: dict[tuple[str, int | None], CircuitFunctions] = {}
+_stuck_cache: dict[tuple[str, str], CampaignResult] = {}
+_bridge_cache: dict[tuple[str, str, str], CampaignResult] = {}
+
+
+def circuit_functions(name: str, scale: Scale) -> CircuitFunctions:
+    """Shared good functions for ``name`` under ``scale``'s policy."""
+    threshold = scale.decompose_threshold(name)
+    ordering = scale.ordering(name)
+    key = (name, threshold, ordering)
+    if key not in _functions_cache:
+        circuit = get_circuit(name)
+        order = dfs_fanin_order(circuit) if ordering == "dfs" else None
+        _functions_cache[key] = CircuitFunctions(
+            circuit, order=order, decompose_threshold=threshold
+        )
+    return _functions_cache[key]
+
+
+def clear_campaign_caches() -> None:
+    """Drop every cached campaign and shared function table."""
+    _functions_cache.clear()
+    _stuck_cache.clear()
+    _bridge_cache.clear()
+
+
+def stuck_at_campaign(name: str, scale: Scale) -> CampaignResult:
+    """Collapsed checkpoint faults of circuit ``name`` under ``scale``."""
+    key = (name, scale.name)
+    if key in _stuck_cache:
+        return _stuck_cache[key]
+    circuit = get_circuit(name)
+    faults: Sequence[Fault] = collapsed_checkpoint_faults(circuit)
+    limit = scale.stuck_at_limit(name)
+    if limit is not None and limit < len(faults):
+        rng = random.Random(scale.seed)
+        faults = sorted(rng.sample(list(faults), limit))
+    result = _run(circuit, name, scale, faults, bridging=False)
+    _stuck_cache[key] = result
+    return result
+
+
+def bridging_campaign(name: str, kind: BridgeKind, scale: Scale) -> CampaignResult:
+    """Potentially detectable NFBFs of one dominance under ``scale``.
+
+    Large circuits use the paper's distance-weighted exponential
+    sampling (seeded); small circuits use the complete set.
+    """
+    key = (name, kind.value, scale.name)
+    if key in _bridge_cache:
+        return _bridge_cache[key]
+    circuit = get_circuit(name)
+    candidates = list(enumerate_nfbfs(circuit, kind))
+    target = scale.bridging_target(name)
+    if target is not None and target < len(candidates):
+        sampled = sample_bridging_faults(
+            circuit, candidates, target, seed=scale.seed
+        )
+        faults: Sequence[Fault] = [s.fault for s in sampled]
+    else:
+        faults = candidates
+    result = _run(circuit, name, scale, faults, bridging=True)
+    _bridge_cache[key] = result
+    return result
+
+
+def _run(
+    circuit: Circuit,
+    name: str,
+    scale: Scale,
+    faults: Sequence[Fault],
+    bridging: bool,
+) -> CampaignResult:
+    functions = circuit_functions(name, scale)
+    # A tighter node budget than the engine default keeps campaign
+    # peaks modest — experiment processes hold several circuits at once.
+    engine = DifferencePropagation(
+        circuit, functions=functions, rebuild_node_limit=2_500_000
+    )
+    records: list[FaultResult] = []
+    for fault in faults:
+        functions = engine.functions  # engine may have rebuilt it
+        analysis = engine.analyze(fault)
+        stuck_eq = None
+        if bridging and isinstance(fault, BridgingFault):
+            stuck_eq = is_stuck_at_equivalent(functions, fault)
+        records.append(
+            FaultResult(
+                fault=fault,
+                detectability=analysis.detectability,
+                upper_bound=detectability_upper_bound(functions, fault),
+                observable_pos=analysis.observable_pos,
+                stuck_at_equivalent=stuck_eq,
+            )
+        )
+    # Memory hygiene: long campaigns can grow (and rebuild) the OBDD
+    # manager; keep the engine's *current* functions in the shared
+    # cache — never a pre-rebuild giant — and drop the computed table,
+    # which dwarfs the node store and is cheap to regrow.
+    functions = engine.functions
+    functions.manager.clear_caches()
+    _functions_cache[
+        (name, scale.decompose_threshold(name), scale.ordering(name))
+    ] = functions
+    return CampaignResult(
+        circuit=circuit,
+        results=tuple(records),
+        exact=functions.is_exact,
+    )

@@ -1,0 +1,112 @@
+"""Command-line runner for the experiment suite.
+
+Examples::
+
+    repro-experiments                      # all experiments, ci scale
+    repro-experiments fig2 fig5            # a subset
+    repro-experiments --scale paper --out results/
+    python -m repro.experiments fig3       # module form
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments.config import SCALES, get_scale
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"subset to run (default: all of {', '.join(ALL_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="fault-set sizing profile (default: $REPRO_SCALE or 'ci')",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to write one .txt per experiment",
+    )
+    parser.add_argument(
+        "--markdown",
+        type=Path,
+        default=None,
+        help="also write one combined markdown report of this run",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = args.experiments or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    scale = get_scale(args.scale)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    print(f"scale: {scale.name}  circuits: {', '.join(scale.circuits)}")
+    failures = 0
+    report: list[str] = [
+        "# Experiment run report",
+        "",
+        f"scale: `{scale.name}`; circuits: {', '.join(scale.circuits)}",
+    ]
+    for name in names:
+        start = time.time()
+        try:
+            result = ALL_EXPERIMENTS[name](scale)
+        except Exception as exc:  # surface which experiment broke
+            failures += 1
+            print(f"\n== {name}: FAILED ({exc!r}) ==", file=sys.stderr)
+            report.extend(["", f"## {name}", "", f"**FAILED**: `{exc!r}`"])
+            continue
+        elapsed = time.time() - start
+        rendered = result.render()
+        print(f"\n{rendered}\n[{name} finished in {elapsed:.1f}s]")
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(rendered + "\n")
+        report.extend(
+            [
+                "",
+                f"## {name}: {result.title}",
+                "",
+                "```",
+                result.text,
+                "```",
+                "",
+                *(f"* {finding}" for finding in result.findings),
+                "",
+                f"_completed in {elapsed:.1f}s_",
+            ]
+        )
+    if args.markdown is not None:
+        args.markdown.parent.mkdir(parents=True, exist_ok=True)
+        args.markdown.write_text("\n".join(report) + "\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

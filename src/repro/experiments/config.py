@@ -1,0 +1,111 @@
+"""Experiment scales.
+
+Exact OBDD analysis of every fault on the big circuits is a batch-job
+workload (the paper ran on late-80s workstations for hours); two scales
+are provided:
+
+* ``ci`` (default) — full fault sets wherever a circuit analyzes in
+  milliseconds per fault, seeded samples on the three big circuits, and
+  cut-point decomposition on C1908. The entire experiment suite runs in
+  a few minutes and still reproduces every qualitative finding.
+* ``paper`` — the paper's fault-set sizes: complete collapsed
+  checkpoint sets everywhere, complete NFBF sets through the 74LS181,
+  ≈1000-fault distance-weighted NFBF samples on the large circuits, and
+  functional decomposition for C499 and larger (exactly the paper's own
+  concession on those circuits).
+
+Select with ``REPRO_SCALE=paper`` in the environment or the ``--scale``
+CLI flag.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Fault-set sizing and decomposition policy for one run profile."""
+
+    name: str
+    seed: int = 0
+    #: circuits covered by the suite-wide figures, in size order
+    circuits: tuple[str, ...] = (
+        "c17",
+        "fulladder",
+        "c95",
+        "alu181",
+        "c432",
+        "c499",
+        "c1355",
+        "c1908",
+    )
+    #: stuck-at sample size per circuit; absent/None = full collapsed set
+    stuck_at_samples: Mapping[str, int | None] = field(default_factory=dict)
+    #: per-kind bridging sample target; absent/None = full NFBF set
+    bridging_samples: Mapping[str, int | None] = field(default_factory=dict)
+    #: cut-point decomposition threshold per circuit; absent = exact
+    decompose: Mapping[str, int] = field(default_factory=dict)
+    #: OBDD variable-order heuristic per circuit: "declared" (the
+    #: paper's choice, default) or "dfs" (fanin DFS — several times
+    #: faster on the deep SEC/DED circuit). Ordering never changes any
+    #: computed quantity, only runtime.
+    orderings: Mapping[str, str] = field(default_factory=dict)
+
+    def stuck_at_limit(self, circuit: str) -> int | None:
+        return self.stuck_at_samples.get(circuit)
+
+    def bridging_target(self, circuit: str) -> int | None:
+        return self.bridging_samples.get(circuit)
+
+    def decompose_threshold(self, circuit: str) -> int | None:
+        return self.decompose.get(circuit)
+
+    def ordering(self, circuit: str) -> str:
+        return self.orderings.get(circuit, "declared")
+
+
+SCALES: dict[str, Scale] = {
+    "ci": Scale(
+        name="ci",
+        stuck_at_samples={"c499": 120, "c1355": 260, "c1908": 40},
+        bridging_samples={
+            "alu181": 400,
+            "c432": 250,
+            "c499": 100,
+            "c1355": 60,
+            "c1908": 15,
+        },
+        orderings={"c1908": "dfs"},
+    ),
+    "smoke": Scale(
+        name="smoke",
+        circuits=("c17", "fulladder", "c95", "alu181", "c432"),
+        stuck_at_samples={"c432": 120},
+        bridging_samples={"alu181": 120, "c432": 80},
+    ),
+    "paper": Scale(
+        name="paper",
+        bridging_samples={
+            "c432": 1000,
+            "c499": 1000,
+            "c1355": 1000,
+            "c1908": 1000,
+        },
+        orderings={"c1908": "dfs"},
+    ),
+}
+
+
+def get_scale(name: str | None = None) -> Scale:
+    """Resolve a scale by name, falling back to ``$REPRO_SCALE`` then ``ci``."""
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "ci")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {name!r}; known: {', '.join(SCALES)}"
+        ) from None

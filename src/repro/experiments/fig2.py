@@ -1,0 +1,80 @@
+"""Figure 2 — mean stuck-at detectability trends versus netlist size.
+
+Two series over the whole suite: the raw overall mean detectability of
+detectable faults ("does not reveal a true trend") and the same mean
+normalized by the circuit's PO count, which exposes the decrease of
+testability with circuit size. The C499/C1355 pair is the controlled
+experiment: identical functions, more gates, lower detectability — the
+paper's argument for minimal designs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.analysis.trends import detectability_trend, is_monotone_decreasing
+from repro.experiments.base import ExperimentResult
+from repro.experiments.campaigns import stuck_at_campaign
+from repro.experiments.config import Scale, get_scale
+
+
+def run_fig2(scale: Scale | None = None) -> ExperimentResult:
+    scale = scale or get_scale()
+    campaigns = []
+    for name in scale.circuits:
+        campaign = stuck_at_campaign(name, scale)
+        campaigns.append((campaign.circuit, campaign.detectabilities()))
+    points = detectability_trend(campaigns)
+    rows = [
+        (
+            p.circuit,
+            p.netlist_size,
+            p.num_outputs,
+            p.num_faults,
+            p.num_detectable,
+            p.mean_detectability,
+            p.normalized_detectability,
+        )
+        for p in points
+    ]
+    text = render_table(
+        (
+            "circuit",
+            "netlist",
+            "POs",
+            "faults",
+            "detectable",
+            "mean det.",
+            "det./PO",
+        ),
+        rows,
+    )
+    normalized = [p.normalized_detectability for p in points]
+    decreasing = is_monotone_decreasing(normalized, slack=0.01)
+    by_name = {p.circuit: p for p in points}
+    findings = []
+    if decreasing:
+        findings.append(
+            "PO-normalized mean detectability decreases with netlist size"
+        )
+    else:
+        findings.append(
+            "PO-normalized detectability is NOT monotone over the suite "
+            "(check sampling noise)"
+        )
+    if "c499" in by_name and "c1355" in by_name:
+        drop = (
+            by_name["c1355"].normalized_detectability
+            < by_name["c499"].normalized_detectability
+        )
+        findings.append(
+            "C1355 (XOR→NAND expansion of C499) has "
+            + ("LOWER" if drop else "higher")
+            + " normalized detectability than C499 despite identical function"
+        )
+    return ExperimentResult(
+        exp_id="fig2",
+        title="Mean stuck-at detectability vs. netlist size",
+        text=text,
+        data={"points": points},
+        findings=tuple(findings),
+    )

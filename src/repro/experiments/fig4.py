@@ -1,0 +1,55 @@
+"""Figure 4 — stuck-at adherence histogram for the 74LS181.
+
+Adherence is the fraction of fault-exciting minterms that are also
+tests (δ / upper bound). The paper's profile is "characterized by
+relatively low values of adherence except with sharp rises at the
+adherence value one": PO faults always adhere fully, and an
+unexpectedly large share of internal faults do too.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.histograms import proportion_histogram
+from repro.analysis.report import render_histogram
+from repro.experiments.base import ExperimentResult
+from repro.experiments.campaigns import stuck_at_campaign
+from repro.experiments.config import Scale, get_scale
+
+CIRCUIT = "alu181"
+BINS = 20
+
+
+def run_fig4(scale: Scale | None = None, circuit: str = CIRCUIT) -> ExperimentResult:
+    scale = scale or get_scale()
+    campaign = stuck_at_campaign(circuit, scale)
+    adherences = [
+        float(r.adherence)
+        for r in campaign.results
+        if r.adherence is not None
+    ]
+    histogram = proportion_histogram(adherences, bins=BINS)
+    top_bin = histogram.proportions[-1]
+    # "Sharp rise at one" is a local feature: compare the top bin to the
+    # high-adherence neighbourhood just below it.
+    shoulder = histogram.proportions[-5:-1]
+    shoulder_mean = sum(shoulder) / len(shoulder) if shoulder else 0.0
+    text = render_histogram(
+        histogram, title=f"Stuck-at fault adherence — {circuit}"
+    )
+    findings = [
+        f"proportion at adherence ≈ 1.0 is {top_bin:.2f} "
+        f"(mean of the four bins below: {shoulder_mean:.2f})"
+    ]
+    if top_bin > shoulder_mean:
+        findings.append("sharp rise at adherence one, as in the paper")
+    return ExperimentResult(
+        exp_id="fig4",
+        title=f"Stuck-at adherence histogram ({circuit})",
+        text=text,
+        data={
+            "histogram": histogram,
+            "num_faults": len(adherences),
+            "top_bin": top_bin,
+        },
+        findings=tuple(findings),
+    )

@@ -1,0 +1,78 @@
+"""Figure 5 — proportions of NFBFs exhibiting stuck-at behaviour.
+
+For every circuit and both bridge dominances, the fraction of
+(potentially detectable, non-feedback) bridging faults whose bridged
+function is constant — i.e. the bridge is exactly a double stuck-at
+fault. The paper's reading: the proportions are generally low
+(bridging defects are poorly served by the stuck-at model, agreeing
+with inductive fault analysis), and circuits rich in stuck-at-like AND
+bridges are poor in stuck-at-like OR bridges and vice versa.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.experiments.base import ExperimentResult
+from repro.experiments.campaigns import bridging_campaign
+from repro.experiments.config import Scale, get_scale
+from repro.faults.bridging import BridgeKind
+
+
+def run_fig5(scale: Scale | None = None) -> ExperimentResult:
+    scale = scale or get_scale()
+    rows = []
+    proportions: dict[str, dict[str, float]] = {}
+    for name in scale.circuits:
+        entry: dict[str, float] = {}
+        row: list[object] = [name]
+        for kind in (BridgeKind.AND, BridgeKind.OR):
+            campaign = bridging_campaign(name, kind, scale)
+            total = len(campaign.results)
+            equivalent = sum(
+                1 for r in campaign.results if r.stuck_at_equivalent
+            )
+            proportion = equivalent / total if total else 0.0
+            entry[kind.value] = proportion
+            row.extend([total, equivalent, proportion])
+        proportions[name] = entry
+        rows.append(tuple(row))
+    text = render_table(
+        (
+            "circuit",
+            "AND NFBFs",
+            "AND s-a-equiv",
+            "AND prop.",
+            "OR NFBFs",
+            "OR s-a-equiv",
+            "OR prop.",
+        ),
+        rows,
+    )
+    all_props = [
+        p for entry in proportions.values() for p in entry.values()
+    ]
+    findings = []
+    if all_props and max(all_props) <= 0.5:
+        findings.append(
+            "stuck-at-equivalent proportions are generally low "
+            f"(max {max(all_props):.2f}) — most bridges are NOT stuck-ats"
+        )
+    # AND/OR anti-correlation: count circuits where one kind clearly
+    # dominates the other.
+    dominated = sum(
+        1
+        for entry in proportions.values()
+        if abs(entry["AND"] - entry["OR"]) > 1e-9
+    )
+    if dominated:
+        findings.append(
+            f"{dominated}/{len(proportions)} circuits show an AND/OR "
+            "asymmetry (large in one dominance, small in the other)"
+        )
+    return ExperimentResult(
+        exp_id="fig5",
+        title="Proportions of AND and OR NFBFs with stuck-at behaviour",
+        text=text,
+        data={"proportions": proportions},
+        findings=tuple(findings),
+    )

@@ -1,0 +1,75 @@
+"""Figure 7 — mean bridging detectability trends versus netlist size.
+
+The bridging analogue of Figure 2, with AND and OR NFBFs pooled (the
+paper did not separate the kinds "because little difference was seen").
+Expected shape: bridging means slightly above the stuck-at means, and
+the PO-normalized series still decreasing with circuit size.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.analysis.trends import detectability_trend, is_monotone_decreasing
+from repro.experiments.base import ExperimentResult
+from repro.experiments.campaigns import bridging_campaign, stuck_at_campaign
+from repro.experiments.config import Scale, get_scale
+from repro.faults.bridging import BridgeKind
+
+
+def run_fig7(scale: Scale | None = None) -> ExperimentResult:
+    scale = scale or get_scale()
+    campaigns = []
+    stuck_means = {}
+    for name in scale.circuits:
+        pooled = []
+        for kind in (BridgeKind.AND, BridgeKind.OR):
+            pooled.extend(bridging_campaign(name, kind, scale).detectabilities())
+        circuit = bridging_campaign(name, BridgeKind.AND, scale).circuit
+        campaigns.append((circuit, pooled))
+        stuck = stuck_at_campaign(name, scale)
+        detectable = [float(d) for d in stuck.detectabilities() if d > 0]
+        stuck_means[name] = (
+            sum(detectable) / len(detectable) if detectable else 0.0
+        )
+    points = detectability_trend(campaigns)
+    rows = [
+        (
+            p.circuit,
+            p.netlist_size,
+            p.num_faults,
+            p.mean_detectability,
+            stuck_means[p.circuit],
+            p.normalized_detectability,
+        )
+        for p in points
+    ]
+    text = render_table(
+        (
+            "circuit",
+            "netlist",
+            "NFBFs",
+            "mean BF det.",
+            "mean SA det.",
+            "BF det./PO",
+        ),
+        rows,
+    )
+    normalized = [p.normalized_detectability for p in points]
+    above = sum(
+        1 for p in points if p.mean_detectability >= stuck_means[p.circuit]
+    )
+    findings = [
+        f"bridging means are at or above stuck-at means on {above}/"
+        f"{len(points)} circuits (paper: 'slightly higher')"
+    ]
+    if is_monotone_decreasing(normalized, slack=0.01):
+        findings.append(
+            "PO-normalized bridging detectability decreases with size"
+        )
+    return ExperimentResult(
+        exp_id="fig7",
+        title="Mean bridging detectability vs. netlist size",
+        text=text,
+        data={"points": points, "stuck_means": stuck_means},
+        findings=tuple(findings),
+    )

@@ -1,0 +1,49 @@
+"""Fault models: checkpoint stuck-at faults and non-feedback bridging faults.
+
+* :mod:`~repro.faults.lines` — the fault-site abstraction (net stems and
+  fanout branches).
+* :mod:`~repro.faults.stuck_at` — checkpoint fault generation and
+  McCluskey–Clegg equivalence collapsing.
+* :mod:`~repro.faults.bridging` — two-wire AND/OR bridging faults:
+  enumeration, feedback screening, trivial-undetectability screening.
+* :mod:`~repro.faults.sampling` — the paper's §2.2 distance-weighted
+  exponential sampling of large bridging-fault sets.
+"""
+
+from repro.faults.lines import Line
+from repro.faults.stuck_at import (
+    StuckAtFault,
+    all_stuck_at_faults,
+    checkpoint_faults,
+    collapse_faults,
+    collapsed_checkpoint_faults,
+    equivalence_classes,
+)
+from repro.faults.bridging import (
+    BridgeKind,
+    BridgingFault,
+    enumerate_nfbfs,
+    is_feedback_pair,
+    is_trivially_undetectable,
+)
+from repro.faults.multiple import MultipleStuckAtFault, double_faults
+from repro.faults.sampling import sample_bridging_faults, solve_theta
+
+__all__ = [
+    "Line",
+    "StuckAtFault",
+    "all_stuck_at_faults",
+    "checkpoint_faults",
+    "collapse_faults",
+    "collapsed_checkpoint_faults",
+    "equivalence_classes",
+    "BridgeKind",
+    "BridgingFault",
+    "enumerate_nfbfs",
+    "is_feedback_pair",
+    "is_trivially_undetectable",
+    "MultipleStuckAtFault",
+    "double_faults",
+    "sample_bridging_faults",
+    "solve_theta",
+]

@@ -1,0 +1,168 @@
+"""Two-wire bridging faults (AND-type and OR-type, non-feedback).
+
+Following the paper (§2.2):
+
+* only bridges between **two** wires are modeled (three or more wires
+  shorted together is considered unlikely);
+* both **AND** bridges (wired-AND, zero-dominant logic) and **OR**
+  bridges (wired-OR, one-dominant logic) are modeled;
+* **feedback** bridges — where one wire lies in the transitive fanout
+  of the other, creating a loop — are excluded: the analysis is purely
+  functional and cannot model induced sequentiality;
+* **trivially undetectable** bridges are screened structurally, e.g.
+  the AND bridge between two inputs of the same AND gate (absorption
+  makes every sink gate's output unchanged).
+
+The faulty behaviour is purely logical: both bridged wires assume
+``u OP v`` where ``OP`` is AND or OR of the two fault-free values —
+valid because the bridge is non-feedback, so neither wire's fault-free
+value is disturbed upstream of the bridge.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+
+class BridgeKind(enum.Enum):
+    AND = "AND"
+    OR = "OR"
+
+
+@dataclass(frozen=True, order=True)
+class BridgingFault:
+    """Wires ``net_a`` and ``net_b`` shorted with ``kind`` dominance.
+
+    The pair is stored in sorted order so the same physical bridge
+    always compares and hashes equal.
+    """
+
+    net_a: str
+    net_b: str
+    kind: BridgeKind
+
+    def __post_init__(self) -> None:
+        if self.net_a == self.net_b:
+            raise ValueError("cannot bridge a wire to itself")
+        if self.net_a > self.net_b:
+            first, second = self.net_b, self.net_a
+            object.__setattr__(self, "net_a", first)
+            object.__setattr__(self, "net_b", second)
+
+    @property
+    def nets(self) -> tuple[str, str]:
+        return (self.net_a, self.net_b)
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}-BF({self.net_a}, {self.net_b})"
+
+
+def is_feedback_pair(circuit: Circuit, net_a: str, net_b: str) -> bool:
+    """True if bridging the two nets would close a structural loop."""
+    return net_b in circuit.transitive_fanout(net_a) or net_a in circuit.transitive_fanout(
+        net_b
+    )
+
+
+_ABSORBING = {
+    BridgeKind.AND: (GateType.AND, GateType.NAND),
+    BridgeKind.OR: (GateType.OR, GateType.NOR),
+}
+
+
+def is_trivially_undetectable(
+    circuit: Circuit, net_a: str, net_b: str, kind: BridgeKind
+) -> bool:
+    """Structural screen for bridges no test could ever detect.
+
+    An AND bridge is absorbed when *every* sink of both wires is an
+    AND/NAND gate fed by *both* wires: each such gate's product term
+    already contains ``a·b``, so replacing both inputs by ``a·b``
+    changes nothing (dually for OR bridges into OR/NOR sinks). Wires
+    feeding no gate at all (output-only nets) also absorb trivially
+    undetectable bridges only through this common-sink rule, so a
+    bridge between two distinct primary-output stems is *not* screened
+    here — it is genuinely detectable at the outputs themselves.
+    """
+    absorbing = _ABSORBING[kind]
+    sinks_a = circuit.fanouts(net_a)
+    sinks_b = circuit.fanouts(net_b)
+    if not sinks_a or not sinks_b:
+        return False
+    for sink, _pin in itertools.chain(sinks_a, sinks_b):
+        gate = circuit.gate(sink)
+        if gate.gate_type not in absorbing:
+            return False
+        if net_a not in gate.fanins or net_b not in gate.fanins:
+            return False
+    return True
+
+
+def enumerate_nfbfs(
+    circuit: Circuit,
+    kind: BridgeKind,
+    include_outputs: bool = True,
+) -> Iterator[BridgingFault]:
+    """All potentially detectable non-feedback bridging faults.
+
+    Pairs are generated over every net (primary inputs included); the
+    feedback and trivial-undetectability screens are applied. For a
+    circuit with *m* nets this examines *m(m−1)/2* pairs — reachability
+    is precomputed as bitmasks so the screen is O(1) per pair.
+
+    ``include_outputs=False`` drops bridges touching primary-output
+    nets (useful to model output pads routed apart from core logic).
+    """
+    nets = [
+        net
+        for net in circuit.nets
+        if include_outputs or not circuit.is_output(net)
+    ]
+    index = {net: i for i, net in enumerate(circuit.nets)}
+    reach = _reachability_masks(circuit, index)
+    # Precompute which nets could possibly absorb a bridge: every sink
+    # is an absorbing-type gate. Only pairs where both wires qualify
+    # need the (more expensive) common-sink check.
+    absorbing = _ABSORBING[kind]
+    could_absorb = {
+        net: bool(circuit.fanouts(net))
+        and all(
+            circuit.gate(sink).gate_type in absorbing
+            for sink, _pin in circuit.fanouts(net)
+        )
+        for net in nets
+    }
+    for pos_a in range(len(nets)):
+        net_a = nets[pos_a]
+        bit_a = 1 << index[net_a]
+        mask_a = reach[net_a]
+        absorb_a = could_absorb[net_a]
+        for pos_b in range(pos_a + 1, len(nets)):
+            net_b = nets[pos_b]
+            if mask_a & (1 << index[net_b]) or reach[net_b] & bit_a:
+                continue  # feedback bridge
+            if (
+                absorb_a
+                and could_absorb[net_b]
+                and is_trivially_undetectable(circuit, net_a, net_b, kind)
+            ):
+                continue
+            yield BridgingFault(net_a, net_b, kind)
+
+
+def _reachability_masks(circuit: Circuit, index: dict[str, int]) -> dict[str, int]:
+    """Transitive-fanout bitmask per net (bit i = net with index i)."""
+    reach: dict[str, int] = {}
+    order = list(circuit.nets)
+    for net in reversed(order):
+        mask = 0
+        for sink, _pin in circuit.fanouts(net):
+            mask |= (1 << index[sink]) | reach[sink]
+        reach[net] = mask
+    return reach

@@ -1,0 +1,80 @@
+"""Fault-site lines: net stems and fanout branches.
+
+Classical stuck-at analysis distinguishes the *stem* of a net (the
+driver side, affecting every fanout) from each *branch* (one particular
+gate-input connection). A :class:`Line` names either:
+
+* ``Line(net)`` — the stem of ``net``;
+* ``Line(net, sink, pin)`` — the branch of ``net`` entering fanin
+  position ``pin`` of gate ``sink``.
+
+Checkpoint fault sets place faults on primary-input stems and on fanout
+branches, which together dominate all other single stuck-at faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit, CircuitError
+
+
+@dataclass(frozen=True)
+class Line:
+    """A stem (``sink is None``) or branch fault site."""
+
+    net: str
+    sink: str | None = None
+    pin: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.sink is None) != (self.pin is None):
+            raise ValueError("branch lines need both sink and pin")
+
+    def sort_key(self) -> tuple[str, str, int]:
+        """Total order: stems sort before the branches of the same net."""
+        return (self.net, self.sink or "", -1 if self.pin is None else self.pin)
+
+    def __lt__(self, other: "Line") -> bool:
+        if not isinstance(other, Line):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    @property
+    def is_stem(self) -> bool:
+        return self.sink is None
+
+    @property
+    def is_branch(self) -> bool:
+        return self.sink is not None
+
+    def validate(self, circuit: Circuit) -> None:
+        """Raise :class:`CircuitError` if this line does not exist."""
+        if self.net not in circuit:
+            raise CircuitError(f"line references unknown net {self.net!r}")
+        if self.is_branch:
+            gate = circuit.gate(self.sink)  # raises for PIs / unknown gates
+            if self.pin >= len(gate.fanins) or gate.fanins[self.pin] != self.net:
+                raise CircuitError(
+                    f"net {self.net!r} does not feed pin {self.pin} of "
+                    f"gate {self.sink!r}"
+                )
+
+    def __str__(self) -> str:
+        if self.is_stem:
+            return self.net
+        return f"{self.net}->{self.sink}.{self.pin}"
+
+
+def stem_lines(circuit: Circuit) -> list[Line]:
+    """One stem line per net, in topological order."""
+    return [Line(net) for net in circuit.nets]
+
+
+def branch_lines(circuit: Circuit) -> list[Line]:
+    """One branch line per gate-input connection, in topological order."""
+    lines: list[Line] = []
+    for gate in circuit.gates():
+        for pin, net in enumerate(gate.fanins):
+            lines.append(Line(net, gate.name, pin))
+    return lines

@@ -1,0 +1,74 @@
+"""Multiple stuck-at faults.
+
+The paper stresses that Difference Propagation is fault-model-agnostic:
+"any fault whose effects are restricted to the logical domain can be
+addressed". Multiple simultaneous stuck-at faults are such a model (and
+the subject of the paper's reference [2], Hughes & McCluskey's study of
+multiple-fault coverage by single-fault test sets), so the library
+supports them end to end: a :class:`MultipleStuckAtFault` seeds a
+difference function at every component site, and the usual propagation
+yields the exact composite test set — including the masking effects
+between components that make multiple faults interesting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.circuit.netlist import Circuit
+from repro.faults.lines import Line
+from repro.faults.stuck_at import StuckAtFault
+
+
+@dataclass(frozen=True)
+class MultipleStuckAtFault:
+    """Several stuck-at faults present simultaneously.
+
+    Components are stored sorted so logically equal multi-faults
+    compare and hash equal; at most one polarity per line is allowed
+    (both polarities on one line is contradictory).
+    """
+
+    components: tuple[StuckAtFault, ...]
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(set(self.components)))
+        if len(ordered) < 2:
+            raise ValueError("a multiple fault needs at least two components")
+        lines = [fault.line for fault in ordered]
+        if len(set(lines)) != len(lines):
+            raise ValueError("conflicting polarities on one line")
+        object.__setattr__(self, "components", ordered)
+
+    @classmethod
+    def of(cls, *components: StuckAtFault) -> "MultipleStuckAtFault":
+        return cls(tuple(components))
+
+    @property
+    def multiplicity(self) -> int:
+        return len(self.components)
+
+    def lines(self) -> tuple[Line, ...]:
+        return tuple(fault.line for fault in self.components)
+
+    def validate(self, circuit: Circuit) -> None:
+        for fault in self.components:
+            fault.line.validate(circuit)
+
+    def __str__(self) -> str:
+        inner = " & ".join(str(fault) for fault in self.components)
+        return f"{{{inner}}}"
+
+
+def double_faults(
+    singles: Iterable[StuckAtFault],
+) -> list[MultipleStuckAtFault]:
+    """All compatible unordered pairs of the given single faults."""
+    pool = sorted(set(singles))
+    pairs: list[MultipleStuckAtFault] = []
+    for i, first in enumerate(pool):
+        for second in pool[i + 1 :]:
+            if first.line != second.line:
+                pairs.append(MultipleStuckAtFault.of(first, second))
+    return pairs

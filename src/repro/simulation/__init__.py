@@ -1,0 +1,32 @@
+"""Baseline fault simulators.
+
+The paper positions exhaustive simulation as the pre-existing way to
+obtain exact detectabilities — "limited to relatively small classes of
+circuits due to exorbitant computation time requirements". We implement
+it anyway, twice over, because it is the perfect oracle for validating
+Difference Propagation:
+
+* :mod:`~repro.simulation.truthtable` — exact, bit-parallel exhaustive
+  simulation: every net's function is one Python integer with ``2**n``
+  bits, one bit per input vector. Practical to ~22 inputs.
+* :mod:`~repro.simulation.random_sim` — Monte-Carlo detectability
+  estimation with packed random vectors, for the circuits exhaustive
+  simulation cannot reach.
+
+Both support stuck-at (stem and branch) and bridging fault injection
+through the shared :mod:`~repro.simulation.injection` layer.
+"""
+
+from repro.simulation.truthtable import TruthTableSimulator
+from repro.simulation.random_sim import RandomPatternSimulator
+from repro.simulation.injection import FaultInjection, injection_for
+from repro.simulation.single import detects, evaluate_with_fault
+
+__all__ = [
+    "TruthTableSimulator",
+    "RandomPatternSimulator",
+    "FaultInjection",
+    "injection_for",
+    "detects",
+    "evaluate_with_fault",
+]

@@ -1,0 +1,73 @@
+"""Shared bit-parallel evaluation core for both simulators.
+
+A *word* holds one bit per simulated vector (2**n bits for exhaustive
+simulation, the pattern-batch width for Monte-Carlo). The good pass is
+a single forward sweep; the faulty pass re-evaluates only the cone
+downstream of the injection sites, honouring stem and branch overrides.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.circuit.gates import eval_gate_words
+from repro.circuit.netlist import Circuit
+from repro.simulation.injection import FaultInjection
+
+
+def forward_pass(
+    circuit: Circuit, input_words: Mapping[str, int], mask: int
+) -> dict[str, int]:
+    """Fault-free value word of every net."""
+    words: dict[str, int] = {net: input_words[net] for net in circuit.inputs}
+    for gate in circuit.gates():
+        operands = [words[f] for f in gate.fanins]
+        words[gate.name] = eval_gate_words(gate.gate_type, operands, mask)
+    return words
+
+
+def faulty_pass(
+    circuit: Circuit,
+    good: Mapping[str, int],
+    injection: FaultInjection,
+    mask: int,
+) -> dict[str, int]:
+    """Value words under the fault; nets outside the cone keep good values."""
+    words = dict(good)
+    changed: set[str] = set()
+    for net, override in injection.stem_overrides.items():
+        faulty = override(good, mask)
+        if faulty != words[net]:
+            words[net] = faulty
+            changed.add(net)
+    branch_sinks = {sink for sink, _pin in injection.branch_overrides}
+    for gate in circuit.gates():
+        if gate.name in injection.stem_overrides:
+            continue  # stem override pins this net; do not recompute
+        has_branch = gate.name in branch_sinks
+        if not has_branch and not any(f in changed for f in gate.fanins):
+            continue
+        operands = []
+        for pin, fanin in enumerate(gate.fanins):
+            override = injection.branch_overrides.get((gate.name, pin))
+            if override is not None:
+                operands.append(override(good, mask))
+            else:
+                operands.append(words[fanin])
+        value = eval_gate_words(gate.gate_type, operands, mask)
+        if value != words[gate.name]:
+            words[gate.name] = value
+            changed.add(gate.name)
+    return words
+
+
+def detection_word(
+    circuit: Circuit,
+    good: Mapping[str, int],
+    faulty: Mapping[str, int],
+) -> int:
+    """Bit v set iff vector v detects the fault at some primary output."""
+    word = 0
+    for po in circuit.outputs:
+        word |= good[po] ^ faulty[po]
+    return word

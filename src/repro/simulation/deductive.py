@@ -1,0 +1,137 @@
+"""Deductive fault simulation (Armstrong 1972).
+
+The third classic point in the fault-simulation design space (after
+exhaustive/parallel-pattern and one-at-a-time serial simulation): one
+pass per vector computes, for *every* net, the set of single stuck-at
+faults that would flip it — by set algebra over the gates:
+
+* a gate with **no controlling inputs** flips iff any input flips
+  (union of input lists);
+* a gate with controlling inputs *S* flips iff every controlling input
+  flips and no non-controlling input does
+  (``⋂_{S} L_i − ⋃_{¬S} L_j``);
+* an XOR-family gate flips iff an odd number of inputs flip;
+* output inversion never changes a flip set;
+* a stuck-at fault forces its own membership at its site: present iff
+  the stuck value differs from the good value there.
+
+The union of the primary-output lists is exactly the set of faults the
+vector detects. Stem and branch faults are both supported (a branch
+fault joins only its own pin's list). Bridging faults are out of scope
+for the classical algorithm — use the word simulators for those.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.faults.stuck_at import StuckAtFault
+
+
+class DeductiveFaultSimulator:
+    """Per-vector detected-fault sets for a fixed stuck-at fault list."""
+
+    def __init__(self, circuit: Circuit, faults: Sequence[StuckAtFault]) -> None:
+        for fault in faults:
+            if not isinstance(fault, StuckAtFault):
+                raise TypeError(
+                    "deductive simulation handles single stuck-at faults"
+                )
+            fault.line.validate(circuit)
+        self.circuit = circuit
+        self.faults = tuple(faults)
+        self._stem_faults: dict[str, list[StuckAtFault]] = {}
+        self._branch_faults: dict[tuple[str, int], list[StuckAtFault]] = {}
+        for fault in faults:
+            line = fault.line
+            if line.is_stem:
+                self._stem_faults.setdefault(line.net, []).append(fault)
+            else:
+                key = (line.sink, line.pin)
+                self._branch_faults.setdefault(key, []).append(fault)
+
+    # ------------------------------------------------------------------
+    def detected(self, assignment: Mapping[str, bool]) -> frozenset[StuckAtFault]:
+        """Faults from the list that this input vector detects."""
+        values = self.circuit.evaluate(assignment)
+        lists: dict[str, frozenset[StuckAtFault]] = {}
+        for net in self.circuit.inputs:
+            lists[net] = self._apply_stem(frozenset(), net, values[net])
+        for gate in self.circuit.gates():
+            pin_lists = []
+            pin_values = []
+            for pin, fanin in enumerate(gate.fanins):
+                pin_list = lists[fanin]
+                for fault in self._branch_faults.get((gate.name, pin), ()):
+                    if fault.value != values[fanin]:
+                        pin_list = pin_list | {fault}
+                pin_lists.append(pin_list)
+                pin_values.append(values[fanin])
+            out_list = _gate_flip_set(gate.gate_type, pin_lists, pin_values)
+            lists[gate.name] = self._apply_stem(
+                out_list, gate.name, values[gate.name]
+            )
+        detected: frozenset[StuckAtFault] = frozenset()
+        for po in self.circuit.outputs:
+            detected |= lists[po]
+        return detected
+
+    def _apply_stem(
+        self,
+        flip_set: frozenset[StuckAtFault],
+        net: str,
+        good_value: bool,
+    ) -> frozenset[StuckAtFault]:
+        """Force the membership of the net's own stem faults."""
+        stems = self._stem_faults.get(net)
+        if not stems:
+            return flip_set
+        add = {f for f in stems if f.value != good_value}
+        remove = {f for f in stems if f.value == good_value}
+        return (flip_set - remove) | add
+
+    # ------------------------------------------------------------------
+    def campaign(
+        self, vectors: Sequence[Mapping[str, bool]]
+    ) -> frozenset[StuckAtFault]:
+        """Union of detections over a whole vector set."""
+        detected: frozenset[StuckAtFault] = frozenset()
+        for vector in vectors:
+            detected |= self.detected(vector)
+        return detected
+
+
+def _gate_flip_set(
+    gate_type: GateType,
+    pin_lists: list[frozenset[StuckAtFault]],
+    pin_values: list[bool],
+) -> frozenset[StuckAtFault]:
+    if gate_type in (GateType.CONST0, GateType.CONST1):
+        return frozenset()
+    if gate_type in (GateType.BUF, GateType.NOT):
+        return pin_lists[0]
+    base = gate_type.base
+    if base is GateType.XOR:
+        counts: dict[StuckAtFault, int] = {}
+        for pin_list in pin_lists:
+            for fault in pin_list:
+                counts[fault] = counts.get(fault, 0) + 1
+        return frozenset(f for f, n in counts.items() if n % 2 == 1)
+    controlling = base is not GateType.AND  # OR controls with 1, AND with 0
+    control_pins = [
+        i for i, value in enumerate(pin_values) if value == controlling
+    ]
+    if not control_pins:
+        union: frozenset[StuckAtFault] = frozenset()
+        for pin_list in pin_lists:
+            union |= pin_list
+        return union
+    flips = pin_lists[control_pins[0]]
+    for index in control_pins[1:]:
+        flips &= pin_lists[index]
+    for index, pin_list in enumerate(pin_lists):
+        if index not in control_pins:
+            flips -= pin_list
+    return flips

@@ -1,0 +1,85 @@
+"""Unified fault-injection description shared by both simulators.
+
+A :class:`FaultInjection` tells a simulator how to perturb a faulty
+evaluation pass relative to the good pass:
+
+* ``stem_overrides`` — nets whose value is replaced (stuck stems and
+  both wires of a bridge);
+* ``branch_overrides`` — ``(sink, pin)`` connections whose operand is
+  replaced (stuck branches);
+* each override is a small closure from the *good* value words of the
+  circuit to the faulty word.
+
+For non-feedback bridges the faulty value of both wires is
+``good(a) OP good(b)`` — legitimate because nothing upstream of either
+wire is disturbed — so every override can be computed from the good
+pass alone, and the faulty pass is a single forward sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.faults.bridging import BridgeKind, BridgingFault
+from repro.faults.multiple import MultipleStuckAtFault
+from repro.faults.stuck_at import StuckAtFault
+
+#: good value words (net -> word), all-ones mask -> faulty word
+_Override = Callable[[Mapping[str, int], int], int]
+
+
+@dataclass
+class FaultInjection:
+    """Perturbation recipe for one fault."""
+
+    stem_overrides: dict[str, _Override] = field(default_factory=dict)
+    branch_overrides: dict[tuple[str, int], _Override] = field(default_factory=dict)
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        """Nets whose downstream cone can differ from the good circuit."""
+        nets = list(self.stem_overrides)
+        nets.extend(net for net, _pin in self.branch_overrides)
+        return tuple(nets)
+
+
+def injection_for(
+    fault: StuckAtFault | BridgingFault | MultipleStuckAtFault,
+) -> FaultInjection:
+    """Build the injection recipe for any supported fault model."""
+    if isinstance(fault, MultipleStuckAtFault):
+        merged = FaultInjection()
+        for component in fault.components:
+            single = injection_for(component)
+            merged.stem_overrides.update(single.stem_overrides)
+            merged.branch_overrides.update(single.branch_overrides)
+        return merged
+    if isinstance(fault, StuckAtFault):
+        value = fault.value
+
+        def stuck(_good: Mapping[str, int], mask: int) -> int:
+            return mask if value else 0
+
+        if fault.line.is_stem:
+            return FaultInjection(stem_overrides={fault.line.net: stuck})
+        key = (fault.line.sink, fault.line.pin)
+        return FaultInjection(branch_overrides={key: stuck})
+
+    if isinstance(fault, BridgingFault):
+        net_a, net_b = fault.nets
+        if fault.kind is BridgeKind.AND:
+
+            def bridged(good: Mapping[str, int], _mask: int) -> int:
+                return good[net_a] & good[net_b]
+
+        else:
+
+            def bridged(good: Mapping[str, int], _mask: int) -> int:
+                return good[net_a] | good[net_b]
+
+        return FaultInjection(
+            stem_overrides={net_a: bridged, net_b: bridged}
+        )
+
+    raise TypeError(f"unsupported fault type {type(fault).__name__}")

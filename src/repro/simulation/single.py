@@ -1,0 +1,40 @@
+"""Single-vector faulty evaluation.
+
+The ATPG production loop (generate a test, then fault-simulate it to
+drop everything else it detects) needs one-vector-at-a-time fault
+simulation on circuits of any input count — exhaustive words are
+overkill there. These helpers evaluate a circuit under one assignment
+with a fault injected, using the same injection recipes as the word
+simulators.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.circuit.netlist import Circuit
+from repro.core.metrics import Fault
+from repro.simulation import _engine
+from repro.simulation.injection import injection_for
+
+
+def evaluate_with_fault(
+    circuit: Circuit, assignment: Mapping[str, bool], fault: Fault
+) -> dict[str, bool]:
+    """Primary-output values under ``assignment`` with ``fault`` present.
+
+    Implemented over 1-bit words so stem/branch/bridge/multiple
+    injection all reuse the bit-parallel machinery.
+    """
+    words = {net: int(bool(assignment[net])) for net in circuit.inputs}
+    good = _engine.forward_pass(circuit, words, 1)
+    faulty = _engine.faulty_pass(circuit, good, injection_for(fault), 1)
+    return {po: bool(faulty[po]) for po in circuit.outputs}
+
+
+def detects(
+    circuit: Circuit, assignment: Mapping[str, bool], fault: Fault
+) -> bool:
+    """Does this single vector detect the fault?"""
+    good = circuit.evaluate_outputs(assignment)
+    return good != evaluate_with_fault(circuit, assignment, fault)

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import BDDManager, Function
+from repro.benchcircuits import get_circuit
+from repro.circuit import CircuitBuilder
+
+
+@pytest.fixture
+def manager() -> BDDManager:
+    return BDDManager(["a", "b", "c", "d"])
+
+
+@pytest.fixture
+def abcd(manager: BDDManager) -> tuple[Function, ...]:
+    return tuple(Function(manager, manager.var(n)) for n in "abcd")
+
+
+@pytest.fixture(scope="session")
+def c17():
+    return get_circuit("c17")
+
+
+@pytest.fixture(scope="session")
+def fulladder():
+    return get_circuit("fulladder")
+
+
+@pytest.fixture(scope="session")
+def c95():
+    return get_circuit("c95")
+
+
+@pytest.fixture(scope="session")
+def alu181():
+    return get_circuit("alu181")
+
+
+@pytest.fixture
+def tiny_circuit():
+    """y = (a & b) | ~c with an internal fanout point."""
+    b = CircuitBuilder("tiny")
+    a, bb, c = b.inputs("a", "b", "c")
+    conj = b.and_(a, bb, name="conj")
+    nc = b.not_(c, name="nc")
+    b.output(b.or_(conj, nc, name="y"))
+    b.output(b.xor(conj, nc, name="z"))
+    return b.build()

@@ -1,0 +1,69 @@
+"""Hypothesis strategies for circuits, functions and faults.
+
+The central generator, :func:`circuits`, draws random combinational
+DAGs small enough for exhaustive truth-table oracles — the backbone of
+the property tests that pit Difference Propagation against brute force.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+_BINARY_GATES = (
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+)
+_UNARY_GATES = (GateType.BUF, GateType.NOT)
+
+
+@st.composite
+def circuits(
+    draw,
+    min_inputs: int = 2,
+    max_inputs: int = 5,
+    min_gates: int = 1,
+    max_gates: int = 18,
+    binary_gates: tuple[GateType, ...] = _BINARY_GATES,
+) -> Circuit:
+    """A random acyclic gate network with every net alive.
+
+    Every gate picks fanins among all earlier nets, so insertion order
+    is topological by construction; all sink-less nets become primary
+    outputs, guaranteeing validity (no dead logic).
+    """
+    num_inputs = draw(st.integers(min_inputs, max_inputs))
+    num_gates = draw(st.integers(min_gates, max_gates))
+    builder = CircuitBuilder("random")
+    nets = [builder.input(f"i{k}") for k in range(num_inputs)]
+    for g in range(num_gates):
+        unary = draw(st.booleans()) and g > 0
+        if unary:
+            gate_type = draw(st.sampled_from(_UNARY_GATES))
+            fanins = [nets[draw(st.integers(0, len(nets) - 1))]]
+        else:
+            gate_type = draw(st.sampled_from(binary_gates))
+            arity = draw(st.integers(2, min(3, len(nets))))
+            fanins = [
+                nets[draw(st.integers(0, len(nets) - 1))] for _ in range(arity)
+            ]
+        nets.append(builder.gate(gate_type, fanins, name=f"g{g}"))
+    circuit = builder.build(validate=False)
+    for net in circuit.nets:
+        if not circuit.fanouts(net) and not circuit.is_input(net):
+            circuit.add_output(net)
+    if not circuit.outputs:
+        circuit.add_output(nets[-1])
+    return circuit
+
+
+@st.composite
+def assignments(draw, circuit: Circuit) -> dict[str, bool]:
+    return {net: draw(st.booleans()) for net in circuit.inputs}

@@ -1,0 +1,267 @@
+"""Tests for the analysis package (histograms, trends, topology, reports)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.histograms import Histogram, proportion_histogram
+from repro.analysis.observability import (
+    ObservabilityRecord,
+    agreement_fraction,
+    po_fed_vs_observable,
+)
+from repro.analysis.report import render_histogram, render_series, render_table
+from repro.analysis.stuckat_equivalence import stuck_at_equivalent_proportion
+from repro.analysis.topology import (
+    DistanceProfile,
+    correlation,
+    detectability_vs_pi_distance,
+    detectability_vs_po_distance,
+    fault_site_nets,
+)
+from repro.analysis.trends import (
+    TrendPoint,
+    detectability_trend,
+    is_monotone_decreasing,
+    trend_point,
+)
+from repro.core.engine import DifferencePropagation
+from repro.core.symbolic import CircuitFunctions
+from repro.faults.bridging import BridgeKind, BridgingFault, enumerate_nfbfs
+from repro.faults.lines import Line
+from repro.faults.stuck_at import StuckAtFault
+
+
+class TestHistograms:
+    def test_proportions_sum_to_one(self):
+        histogram = proportion_histogram([0.0, 0.25, 0.5, 0.75, 1.0], bins=4)
+        assert sum(histogram.proportions) == pytest.approx(1.0)
+        assert histogram.sample_size == 5
+
+    def test_value_one_lands_in_last_bin(self):
+        histogram = proportion_histogram([1.0], bins=10)
+        assert histogram.proportions[-1] == 1.0
+
+    def test_fractions_accepted(self):
+        histogram = proportion_histogram([Fraction(1, 3)], bins=3)
+        assert histogram.proportions[0] == 0.0
+        assert histogram.proportions[1] == 1.0
+
+    def test_empty_sample(self):
+        histogram = proportion_histogram([], bins=4)
+        assert histogram.proportions == (0.0,) * 4
+        assert histogram.sample_size == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            proportion_histogram([1.5])
+        with pytest.raises(ValueError):
+            proportion_histogram([-0.1])
+        with pytest.raises(ValueError):
+            proportion_histogram([0.5], bins=0)
+
+    def test_bin_of_and_mode(self):
+        histogram = proportion_histogram([0.1, 0.1, 0.9], bins=10)
+        assert histogram.bin_of(0.1) == 1
+        assert histogram.bin_of(1.0) == 9
+        assert histogram.mode() == pytest.approx(0.15)
+        with pytest.raises(ValueError):
+            histogram.bin_of(2.0)
+
+    def test_centers(self):
+        histogram = proportion_histogram([0.5], bins=2)
+        assert histogram.centers() == (0.25, 0.75)
+
+
+class TestTrends:
+    def test_trend_point_means(self, c17):
+        detectabilities = [Fraction(0), Fraction(1, 4), Fraction(3, 4)]
+        point = trend_point(c17, detectabilities)
+        assert point.num_faults == 3
+        assert point.num_detectable == 2
+        assert point.mean_detectability == pytest.approx(0.5)
+        assert point.normalized_detectability == pytest.approx(0.25)
+        assert point.detectable_fraction == pytest.approx(2 / 3)
+
+    def test_trend_sorted_by_size(self, c17, c95):
+        points = detectability_trend(
+            [(c95, [Fraction(1, 2)]), (c17, [Fraction(1, 2)])]
+        )
+        assert [p.circuit for p in points] == ["c17", "c95"]
+
+    def test_empty_campaign(self, c17):
+        point = trend_point(c17, [])
+        assert point.mean_detectability == 0.0
+        assert point.detectable_fraction == 0.0
+
+    def test_monotone_check(self):
+        assert is_monotone_decreasing([3.0, 2.0, 2.0, 1.0])
+        assert not is_monotone_decreasing([1.0, 2.0])
+        assert is_monotone_decreasing([1.0, 1.05], slack=0.1)
+
+
+class TestTopology:
+    def test_fault_site_nets(self):
+        assert fault_site_nets(StuckAtFault(Line("n"), True)) == ("n",)
+        assert fault_site_nets(BridgingFault("u", "v", BridgeKind.OR)) == (
+            "u",
+            "v",
+        )
+        with pytest.raises(TypeError):
+            fault_site_nets("x")  # type: ignore[arg-type]
+
+    def test_po_distance_profile(self, c17):
+        results = [
+            (StuckAtFault(Line("G22"), False), Fraction(1, 2)),  # PO: dist 0
+            (StuckAtFault(Line("G10"), False), Fraction(1, 4)),  # dist 1
+            (StuckAtFault(Line("G1"), False), Fraction(1, 8)),  # dist 2
+        ]
+        profile = detectability_vs_po_distance(c17, results)
+        assert profile.distances == (0, 1, 2)
+        assert profile.means == (0.5, 0.25, 0.125)
+        assert profile.counts == (1, 1, 1)
+
+    def test_pi_distance_profile(self, c17):
+        results = [(StuckAtFault(Line("G1"), False), Fraction(1, 2))]
+        profile = detectability_vs_pi_distance(c17, results)
+        assert profile.distances == (0,)
+
+    def test_bridge_uses_farther_wire(self, c17):
+        # G22 is a PO (dist 0), G1 is a PI (dist 2): bucket must be 2.
+        results = [(BridgingFault("G22", "G1", BridgeKind.AND), Fraction(1, 2))]
+        profile = detectability_vs_po_distance(c17, results)
+        assert profile.distances == (2,)
+
+    def test_center_minimum(self):
+        bathtub = DistanceProfile((0, 1, 2), (0.5, 0.1, 0.4), (1, 1, 1))
+        rising = DistanceProfile((0, 1, 2), (0.1, 0.2, 0.3), (1, 1, 1))
+        short = DistanceProfile((0, 1), (0.1, 0.2), (1, 1))
+        assert bathtub.center_minimum()
+        assert not rising.center_minimum()
+        assert not short.center_minimum()
+
+    def test_correlation(self):
+        assert correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+        assert correlation([1, 1, 1], [1, 2, 3]) == 0.0
+        assert correlation([1], [1]) == 0.0
+
+
+class TestObservability:
+    def test_po_fed_vs_observable_on_c17(self, c17):
+        engine = DifferencePropagation(c17)
+        analyses = [
+            engine.analyze(StuckAtFault(Line(net), value))
+            for net in ("G1", "G10", "G16")
+            for value in (False, True)
+        ]
+        records = po_fed_vs_observable(c17, analyses)
+        assert len(records) == 6
+        for record in records:
+            assert record.pos_observable <= record.pos_fed
+        assert 0.0 <= agreement_fraction(records) <= 1.0
+
+    def test_agreement_fraction_empty(self):
+        assert agreement_fraction([]) == 0.0
+
+    def test_record_agrees(self):
+        assert ObservabilityRecord("f", 2, 2).agrees
+        assert not ObservabilityRecord("f", 2, 1).agrees
+
+
+class TestStuckAtEquivalence:
+    def test_counts(self, c17):
+        functions = CircuitFunctions(c17)
+        faults = list(enumerate_nfbfs(c17, BridgeKind.AND))
+        count = stuck_at_equivalent_proportion(functions, faults)
+        assert count.total == len(faults)
+        assert 0.0 <= count.proportion <= 1.0
+        assert count.circuit == "c17"
+
+    def test_mixed_kinds_rejected(self, c17):
+        functions = CircuitFunctions(c17)
+        mixed = [
+            BridgingFault("G1", "G2", BridgeKind.AND),
+            BridgingFault("G1", "G2", BridgeKind.OR),
+        ]
+        with pytest.raises(ValueError):
+            stuck_at_equivalent_proportion(functions, mixed)
+
+    def test_empty_rejected(self, c17):
+        functions = CircuitFunctions(c17)
+        with pytest.raises(ValueError):
+            stuck_at_equivalent_proportion(functions, [])
+
+
+class TestReport:
+    def test_table(self):
+        text = render_table(("a", "bb"), [(1, 2.5), ("x", "y")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.5000" in text
+
+    def test_histogram_rendering(self):
+        histogram = proportion_histogram([0.1, 0.9], bins=4)
+        text = render_histogram(histogram, title="demo")
+        assert text.startswith("demo")
+        assert "(n = 2)" in text
+
+    def test_histogram_rendering_empty(self):
+        text = render_histogram(proportion_histogram([], bins=2))
+        assert "(n = 0)" in text
+
+    def test_series_rendering(self):
+        text = render_series([0, 1, 2], [0.5, 0.2, 0.9], "dist", "mean")
+        assert "dist -> mean" in text
+        assert text.count("\n") == 3
+
+
+class TestProfileFiltering:
+    def test_filtered_drops_thin_buckets(self):
+        profile = DistanceProfile((0, 1, 2, 3), (0.5, 0.1, 0.2, 0.4), (10, 1, 8, 2))
+        filtered = profile.filtered(5)
+        assert filtered.distances == (0, 2)
+        assert filtered.means == (0.5, 0.2)
+        assert filtered.counts == (10, 8)
+
+    def test_center_minimum_with_min_count(self):
+        noisy = DistanceProfile(
+            (0, 1, 2, 3), (0.01, 0.5, 0.1, 0.4), (1, 10, 10, 10)
+        )
+        # raw: ends are 0.01/0.4, interior min 0.1 > 0.01 -> no bathtub
+        assert not noisy.center_minimum()
+        # dropping the 1-fault bucket reveals the bathtub
+        assert noisy.center_minimum(min_count=5)
+
+
+class TestTertileBathtub:
+    def test_holds_on_synthetic_bathtub(self, c17):
+        from repro.analysis.topology import tertile_bathtub
+
+        distance = c17.levels_to_po()
+        # Assign high detectability near PO and PI, low in the middle.
+        results = []
+        for net in c17.nets:
+            d = distance[net]
+            value = Fraction(1, 2) if d in (0, max(distance.values())) else Fraction(1, 100)
+            results.append((StuckAtFault(Line(net), False), value))
+        near, center, far, holds = tertile_bathtub(c17, results)
+        assert holds
+        assert center < near and center < far
+
+    def test_degenerate_cases(self, c17):
+        from repro.analysis.topology import tertile_bathtub
+
+        assert tertile_bathtub(c17, []) == (0.0, 0.0, 0.0, False)
+
+
+class TestProfileSpread:
+    def test_spread(self):
+        from repro.analysis.topology import profile_spread
+
+        profile = DistanceProfile((0, 1, 2), (0.5, 0.1, 0.3), (1, 1, 1))
+        assert profile_spread(profile) == pytest.approx(0.4)
+        empty = DistanceProfile((), (), ())
+        assert profile_spread(empty) == 0.0

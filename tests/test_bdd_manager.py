@@ -1,0 +1,237 @@
+"""Unit tests for the ROBDD manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd.manager import BDDError, BDDManager, FALSE, TRUE
+
+
+class TestVariables:
+    def test_declared_order_is_preserved(self):
+        m = BDDManager(["x", "y", "z"])
+        assert m.var_names == ("x", "y", "z")
+        assert m.level_of("x") == 0
+        assert m.level_of("z") == 2
+
+    def test_add_var_appends(self):
+        m = BDDManager(["x"])
+        assert m.add_var("y") == 1
+        assert m.var_names == ("x", "y")
+
+    def test_duplicate_variable_rejected(self):
+        m = BDDManager(["x"])
+        with pytest.raises(BDDError):
+            m.add_var("x")
+
+    def test_unknown_variable_rejected(self):
+        m = BDDManager(["x"])
+        with pytest.raises(BDDError):
+            m.var("nope")
+
+    def test_var_and_nvar_are_complements(self):
+        m = BDDManager(["x"])
+        assert m.apply_not(m.var("x")) == m.nvar("x")
+
+
+class TestReduction:
+    def test_same_function_same_node(self):
+        m = BDDManager(["a", "b"])
+        f = m.apply_and(m.var("a"), m.var("b"))
+        g = m.apply_and(m.var("b"), m.var("a"))
+        assert f == g
+
+    def test_redundant_test_removed(self):
+        m = BDDManager(["a", "b"])
+        a = m.var("a")
+        # ite(b, a, a) must collapse to a — no node tests b.
+        assert m.ite(m.var("b"), a, a) == a
+
+    def test_terminal_identities(self):
+        m = BDDManager(["a"])
+        a = m.var("a")
+        assert m.apply_and(a, TRUE) == a
+        assert m.apply_and(a, FALSE) == FALSE
+        assert m.apply_or(a, FALSE) == a
+        assert m.apply_or(a, TRUE) == TRUE
+        assert m.apply_xor(a, FALSE) == a
+        assert m.apply_xor(a, a) == FALSE
+
+    def test_children_are_strictly_lower(self):
+        m = BDDManager(["a", "b", "c"])
+        f = m.apply_or(m.apply_and(m.var("a"), m.var("c")), m.var("b"))
+        stack = [f]
+        seen = set()
+        while stack:
+            u = stack.pop()
+            if u <= TRUE or u in seen:
+                continue
+            seen.add(u)
+            for child in (m.low(u), m.high(u)):
+                if child > TRUE:
+                    assert m.level(child) > m.level(u)
+                stack.append(child)
+
+
+class TestOperators:
+    def test_de_morgan(self):
+        m = BDDManager(["a", "b"])
+        a, b = m.var("a"), m.var("b")
+        assert m.apply_not(m.apply_and(a, b)) == m.apply_or(
+            m.apply_not(a), m.apply_not(b)
+        )
+
+    def test_xor_via_ite(self):
+        m = BDDManager(["a", "b"])
+        a, b = m.var("a"), m.var("b")
+        assert m.apply_xor(a, b) == m.ite(a, m.apply_not(b), b)
+
+    def test_implies(self):
+        m = BDDManager(["a", "b"])
+        a, b = m.var("a"), m.var("b")
+        assert m.apply_implies(a, b) == m.apply_or(m.apply_not(a), b)
+
+    def test_nand_nor_xnor(self):
+        m = BDDManager(["a", "b"])
+        a, b = m.var("a"), m.var("b")
+        assert m.apply_nand(a, b) == m.apply_not(m.apply_and(a, b))
+        assert m.apply_nor(a, b) == m.apply_not(m.apply_or(a, b))
+        assert m.apply_xnor(a, b) == m.apply_not(m.apply_xor(a, b))
+
+    def test_double_negation(self):
+        m = BDDManager(["a", "b"])
+        f = m.apply_and(m.var("a"), m.var("b"))
+        assert m.apply_not(m.apply_not(f)) == f
+
+
+class TestRestrictQuantifyCompose:
+    def test_restrict_shannon(self):
+        m = BDDManager(["a", "b", "c"])
+        f = m.apply_or(m.apply_and(m.var("a"), m.var("b")), m.var("c"))
+        f1 = m.restrict(f, "a", True)
+        f0 = m.restrict(f, "a", False)
+        rebuilt = m.ite(m.var("a"), f1, f0)
+        assert rebuilt == f
+
+    def test_exists_is_or_of_cofactors(self):
+        m = BDDManager(["a", "b"])
+        f = m.apply_xor(m.var("a"), m.var("b"))
+        assert m.exists(f, ["a"]) == m.apply_or(
+            m.restrict(f, "a", False), m.restrict(f, "a", True)
+        )
+
+    def test_forall_is_and_of_cofactors(self):
+        m = BDDManager(["a", "b"])
+        f = m.apply_or(m.var("a"), m.var("b"))
+        assert m.forall(f, ["a"]) == m.apply_and(
+            m.restrict(f, "a", False), m.restrict(f, "a", True)
+        )
+
+    def test_compose_replaces_variable(self):
+        m = BDDManager(["a", "b", "c"])
+        f = m.apply_and(m.var("a"), m.var("b"))
+        g = m.apply_or(m.var("b"), m.var("c"))
+        composed = m.compose(f, "a", g)
+        assert composed == m.apply_and(g, m.var("b"))
+
+    def test_compose_with_higher_variable(self):
+        # Substituting a function of an *earlier* variable into a later
+        # slot must keep the result ordered and correct.
+        m = BDDManager(["a", "b", "c"])
+        f = m.apply_and(m.var("b"), m.var("c"))
+        composed = m.compose(f, "c", m.var("a"))
+        assert composed == m.apply_and(m.var("b"), m.var("a"))
+
+
+class TestCounting:
+    def test_satcount_basics(self):
+        m = BDDManager(["a", "b", "c"])
+        assert m.satcount(FALSE) == 0
+        assert m.satcount(TRUE) == 8
+        assert m.satcount(m.var("a")) == 4
+        assert m.satcount(m.apply_and(m.var("a"), m.var("b"))) == 2
+
+    def test_satcount_extra_free_vars(self):
+        m = BDDManager(["a"])
+        assert m.satcount(m.var("a"), nvars=3) == 4
+
+    def test_satcount_rejects_too_few_vars(self):
+        m = BDDManager(["a", "b"])
+        with pytest.raises(BDDError):
+            m.satcount(m.var("a"), nvars=1)
+
+    def test_satcount_memo_survives_new_nodes(self):
+        m = BDDManager(["a", "b", "c"])
+        f = m.apply_or(m.var("a"), m.var("b"))
+        assert m.satcount(f) == 6
+        g = m.apply_and(f, m.var("c"))
+        assert m.satcount(g) == 3
+        assert m.satcount(f) == 6
+
+    def test_satcount_memo_invalidated_by_add_var(self):
+        m = BDDManager(["a"])
+        f = m.var("a")
+        assert m.satcount(f) == 1
+        m.add_var("b")
+        assert m.satcount(f) == 2
+
+    def test_support(self):
+        m = BDDManager(["a", "b", "c"])
+        f = m.apply_and(m.var("a"), m.var("c"))
+        assert m.support(f) == frozenset({"a", "c"})
+        assert m.support(TRUE) == frozenset()
+
+    def test_node_count(self):
+        m = BDDManager(["a", "b"])
+        assert m.node_count(TRUE) == 1
+        assert m.node_count(m.var("a")) == 3  # node + two terminals
+
+
+class TestWitnesses:
+    def test_pick_minterm_satisfies(self):
+        m = BDDManager(["a", "b", "c"])
+        f = m.apply_and(m.var("a"), m.apply_not(m.var("c")))
+        assignment = m.pick_minterm(f)
+        assert assignment is not None
+        assert m.evaluate(f, assignment)
+
+    def test_pick_minterm_of_false(self):
+        m = BDDManager(["a"])
+        assert m.pick_minterm(FALSE) is None
+
+    def test_minterms_enumerates_exactly(self):
+        m = BDDManager(["a", "b", "c"])
+        f = m.apply_xor(m.var("a"), m.var("b"))
+        minterms = list(m.minterms(f))
+        assert len(minterms) == m.satcount(f)
+        assert all(m.evaluate(f, a) for a in minterms)
+
+    def test_minterms_limit(self):
+        m = BDDManager(["a", "b", "c"])
+        assert len(list(m.minterms(TRUE, limit=3))) == 3
+
+    def test_evaluate_missing_variable(self):
+        m = BDDManager(["a", "b"])
+        with pytest.raises(BDDError):
+            m.evaluate(m.var("b"), {"a": True})
+
+
+class TestBulkHelpers:
+    def test_cube(self):
+        m = BDDManager(["a", "b", "c"])
+        cube = m.cube({"a": True, "c": False})
+        assert m.satcount(cube) == 2
+
+    def test_disjoin_conjoin(self):
+        m = BDDManager(["a", "b"])
+        a, b = m.var("a"), m.var("b")
+        assert m.disjoin([a, b]) == m.apply_or(a, b)
+        assert m.conjoin([a, b]) == m.apply_and(a, b)
+        assert m.disjoin([]) == FALSE
+        assert m.conjoin([]) == TRUE
+
+    def test_clear_caches_preserves_results(self):
+        m = BDDManager(["a", "b"])
+        f = m.apply_and(m.var("a"), m.var("b"))
+        m.clear_caches()
+        assert m.apply_and(m.var("a"), m.var("b")) == f

@@ -1,0 +1,74 @@
+"""Tests for variable-ordering heuristics and DOT export."""
+
+from __future__ import annotations
+
+from repro.bdd import BDDManager, dfs_fanin_order, interleaved_order, to_dot
+from repro.bdd.manager import FALSE, TRUE
+from repro.circuit.builder import CircuitBuilder
+
+
+class TestDfsFaninOrder:
+    def test_is_a_permutation_of_inputs(self, c95):
+        order = dfs_fanin_order(c95)
+        assert sorted(order) == sorted(c95.inputs)
+
+    def test_cone_locality(self):
+        """Inputs of the first output's cone come before unrelated inputs."""
+        b = CircuitBuilder("cones")
+        a, bb, c, d = b.inputs("a", "b", "c", "d")
+        b.output(b.and_(c, d, name="o1"))
+        b.output(b.or_(a, bb, name="o2"))
+        order = dfs_fanin_order(b.build())
+        assert order.index("c") < order.index("a")
+        assert order.index("d") < order.index("b")
+
+    def test_disconnected_inputs_appended(self):
+        b = CircuitBuilder("dangling")
+        a, _unused = b.inputs("a", "unused")
+        b.output(b.not_(a, name="y"))
+        order = dfs_fanin_order(b.build(validate=False))
+        assert order == ["a", "unused"]
+
+
+class TestInterleavedOrder:
+    def test_round_robin(self):
+        assert interleaved_order(["a0", "a1"], ["b0", "b1"]) == [
+            "a0",
+            "b0",
+            "a1",
+            "b1",
+        ]
+
+    def test_unequal_lengths(self):
+        assert interleaved_order(["a0", "a1", "a2"], ["b0"]) == [
+            "a0",
+            "b0",
+            "a1",
+            "a2",
+        ]
+
+    def test_empty(self):
+        assert interleaved_order() == []
+
+
+class TestDot:
+    def test_structure(self):
+        m = BDDManager(["a", "b"])
+        f = m.apply_and(m.var("a"), m.var("b"))
+        dot = to_dot(m, f, name="g")
+        assert dot.startswith("digraph g {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count('label="a"') == 1
+        assert dot.count('label="b"') == 1
+        assert "style=dashed" in dot and "style=solid" in dot
+
+    def test_terminals_only(self):
+        m = BDDManager(["a"])
+        assert "constant FALSE" in to_dot(m, FALSE)
+        assert "constant TRUE" in to_dot(m, TRUE)
+
+    def test_rank_grouping(self):
+        m = BDDManager(["a", "b", "c"])
+        f = m.apply_xor(m.apply_xor(m.var("a"), m.var("b")), m.var("c"))
+        dot = to_dot(m, f)
+        assert dot.count("rank=same") >= 2  # b and c levels have 2 nodes

@@ -1,0 +1,159 @@
+"""Property-based tests: every BDD operation against a truth-table oracle.
+
+A random Boolean expression is evaluated two ways — through the ROBDD
+manager and through plain Python bools over all 2^n assignments — and
+must agree everywhere. Canonicity (equal functions ⇔ equal nodes) is
+checked as well, since all of Difference Propagation leans on it.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import BDDManager
+
+_NUM_VARS = 4
+_NAMES = [f"v{i}" for i in range(_NUM_VARS)]
+
+
+# Expression AST: leaves are variable indices; internal nodes are
+# ("op", left, right) or ("not", child).
+def _expressions(depth: int = 4):
+    leaves = st.integers(0, _NUM_VARS - 1)
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.tuples(st.just("not"), children),
+            st.tuples(
+                st.sampled_from(["and", "or", "xor"]), children, children
+            ),
+        ),
+        max_leaves=12,
+    )
+
+
+def _to_bdd(manager: BDDManager, expr) -> int:
+    if isinstance(expr, int):
+        return manager.var(_NAMES[expr])
+    if expr[0] == "not":
+        return manager.apply_not(_to_bdd(manager, expr[1]))
+    op, lhs, rhs = expr
+    left = _to_bdd(manager, lhs)
+    right = _to_bdd(manager, rhs)
+    return {
+        "and": manager.apply_and,
+        "or": manager.apply_or,
+        "xor": manager.apply_xor,
+    }[op](left, right)
+
+
+def _eval(expr, assignment: dict[str, bool]) -> bool:
+    if isinstance(expr, int):
+        return assignment[_NAMES[expr]]
+    if expr[0] == "not":
+        return not _eval(expr[1], assignment)
+    op, lhs, rhs = expr
+    left, right = _eval(lhs, assignment), _eval(rhs, assignment)
+    return {
+        "and": left and right,
+        "or": left or right,
+        "xor": left != right,
+    }[op]
+
+
+def _all_assignments():
+    for bits in itertools.product([False, True], repeat=_NUM_VARS):
+        yield dict(zip(_NAMES, bits))
+
+
+@settings(max_examples=150, deadline=None)
+@given(_expressions())
+def test_bdd_matches_truth_table(expr):
+    manager = BDDManager(_NAMES)
+    node = _to_bdd(manager, expr)
+    for assignment in _all_assignments():
+        assert manager.evaluate(node, assignment) == _eval(expr, assignment)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_expressions())
+def test_satcount_matches_truth_table(expr):
+    manager = BDDManager(_NAMES)
+    node = _to_bdd(manager, expr)
+    expected = sum(_eval(expr, a) for a in _all_assignments())
+    assert manager.satcount(node) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(_expressions(), _expressions())
+def test_canonicity(expr_a, expr_b):
+    manager = BDDManager(_NAMES)
+    node_a = _to_bdd(manager, expr_a)
+    node_b = _to_bdd(manager, expr_b)
+    same_function = all(
+        _eval(expr_a, a) == _eval(expr_b, a) for a in _all_assignments()
+    )
+    assert (node_a == node_b) == same_function
+
+
+@settings(max_examples=100, deadline=None)
+@given(_expressions(), st.integers(0, _NUM_VARS - 1), st.booleans())
+def test_restrict_matches_truth_table(expr, var_index, value):
+    manager = BDDManager(_NAMES)
+    node = _to_bdd(manager, expr)
+    restricted = manager.restrict(node, _NAMES[var_index], value)
+    for assignment in _all_assignments():
+        fixed = dict(assignment)
+        fixed[_NAMES[var_index]] = value
+        assert manager.evaluate(restricted, assignment) == _eval(expr, fixed)
+    # The restricted function must not depend on the variable.
+    assert _NAMES[var_index] not in manager.support(restricted)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_expressions(), st.integers(0, _NUM_VARS - 1))
+def test_quantification_matches_truth_table(expr, var_index):
+    manager = BDDManager(_NAMES)
+    node = _to_bdd(manager, expr)
+    name = _NAMES[var_index]
+    exist = manager.exists(node, [name])
+    universal = manager.forall(node, [name])
+    for assignment in _all_assignments():
+        low = dict(assignment, **{name: False})
+        high = dict(assignment, **{name: True})
+        expected_e = _eval(expr, low) or _eval(expr, high)
+        expected_a = _eval(expr, low) and _eval(expr, high)
+        assert manager.evaluate(exist, assignment) == expected_e
+        assert manager.evaluate(universal, assignment) == expected_a
+
+
+@settings(max_examples=80, deadline=None)
+@given(_expressions(), _expressions(), st.integers(0, _NUM_VARS - 1))
+def test_compose_matches_truth_table(expr, sub_expr, var_index):
+    manager = BDDManager(_NAMES)
+    node = _to_bdd(manager, expr)
+    sub = _to_bdd(manager, sub_expr)
+    name = _NAMES[var_index]
+    composed = manager.compose(node, name, sub)
+    for assignment in _all_assignments():
+        patched = dict(assignment)
+        patched[name] = _eval(sub_expr, assignment)
+        assert manager.evaluate(composed, assignment) == _eval(expr, patched)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_expressions())
+def test_support_is_exact(expr):
+    """A variable is in the support iff some cofactor pair differs."""
+    manager = BDDManager(_NAMES)
+    node = _to_bdd(manager, expr)
+    support = manager.support(node)
+    for name in _NAMES:
+        depends = any(
+            _eval(expr, dict(a, **{name: False}))
+            != _eval(expr, dict(a, **{name: True}))
+            for a in _all_assignments()
+        )
+        assert (name in support) == depends

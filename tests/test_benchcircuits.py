@@ -1,0 +1,286 @@
+"""Validation of the benchmark suite against behavioural oracles."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.benchcircuits import (
+    alu181_reference,
+    build_c17,
+    c432_reference,
+    c499_reference,
+    c1908_reference,
+    circuit_notes,
+    get_circuit,
+    paper_suite,
+    small_suite,
+)
+from repro.benchcircuits.c95 import c95_reference
+from repro.benchcircuits.fulladder import fulladder_reference
+from repro.benchcircuits.registry import CIRCUIT_NAMES
+
+
+class TestRegistry:
+    def test_suite_names_in_paper_order(self):
+        assert CIRCUIT_NAMES == (
+            "c17",
+            "fulladder",
+            "c95",
+            "alu181",
+            "c432",
+            "c499",
+            "c1355",
+            "c1908",
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            get_circuit("c9999")
+
+    def test_cached(self):
+        assert get_circuit("c17") is get_circuit("c17")
+
+    def test_notes_exist_for_all(self):
+        for name in CIRCUIT_NAMES:
+            assert circuit_notes(name)
+
+    def test_small_suite_is_exhaustively_checkable(self):
+        for circuit in small_suite():
+            assert circuit.num_inputs <= 14
+
+    def test_all_circuits_validate(self):
+        for circuit in paper_suite():
+            circuit.validate()
+
+
+class TestInterfaces:
+    """PI/PO counts must match the ISCAS-85 circuits being surrogated."""
+
+    @pytest.mark.parametrize(
+        "name, inputs, outputs",
+        [
+            ("c17", 5, 2),
+            ("fulladder", 3, 2),
+            ("c95", 9, 8),
+            ("alu181", 14, 8),
+            ("c432", 36, 7),
+            ("c499", 41, 32),
+            ("c1355", 41, 32),
+            ("c1908", 33, 25),
+        ],
+    )
+    def test_pi_po_counts(self, name, inputs, outputs):
+        circuit = get_circuit(name)
+        assert circuit.num_inputs == inputs
+        assert circuit.num_outputs == outputs
+
+    def test_c1355_larger_than_c499(self):
+        assert get_circuit("c1355").num_gates > get_circuit("c499").num_gates
+
+
+class TestC17:
+    def test_exact_netlist(self):
+        c17 = build_c17()
+        assert c17.num_gates == 6
+        assert all(g.gate_type.value == "NAND" for g in c17.gates())
+
+    def test_known_vector(self):
+        c17 = build_c17()
+        out = c17.evaluate_outputs(
+            {"G1": False, "G2": False, "G3": False, "G6": False, "G7": False}
+        )
+        assert out == {"G22": False, "G23": False}
+
+
+class TestFullAdder:
+    def test_exhaustive(self, fulladder):
+        for a, b, cin in itertools.product([False, True], repeat=3):
+            got = fulladder.evaluate_outputs({"a": a, "b": b, "cin": cin})
+            assert got == fulladder_reference(a, b, cin)
+
+
+class TestC95:
+    def test_exhaustive(self, c95):
+        for a in range(16):
+            for b in range(16):
+                for cin in (False, True):
+                    assignment = {f"a{i}": bool((a >> i) & 1) for i in range(4)}
+                    assignment |= {f"b{i}": bool((b >> i) & 1) for i in range(4)}
+                    assignment["cin"] = cin
+                    assert c95.evaluate_outputs(assignment) == c95_reference(
+                        a, b, cin
+                    )
+
+
+class TestALU181:
+    @pytest.mark.parametrize("mode", list(range(16)))
+    def test_all_s_codes_sampled(self, alu181, mode):
+        """All 16 S codes; operands sampled to keep the suite fast.
+
+        (The full 2^14 exhaustive check lives in the slow marker below.)
+        """
+        rng = random.Random(mode)
+        for _ in range(64):
+            a, b = rng.randrange(16), rng.randrange(16)
+            m, cn = bool(rng.getrandbits(1)), bool(rng.getrandbits(1))
+            assignment = {}
+            for i in range(4):
+                assignment[f"a{i}"] = bool((a >> i) & 1)
+                assignment[f"b{i}"] = bool((b >> i) & 1)
+                assignment[f"s{i}"] = bool((mode >> i) & 1)
+            assignment |= {"m": m, "cn": cn}
+            assert alu181.evaluate_outputs(assignment) == alu181_reference(
+                a, b, mode, m, cn
+            )
+
+    @pytest.mark.slow
+    def test_exhaustive_all_16384_vectors(self, alu181):
+        for a in range(16):
+            for b in range(16):
+                for s in range(16):
+                    for m in (False, True):
+                        for cn in (False, True):
+                            assignment = {}
+                            for i in range(4):
+                                assignment[f"a{i}"] = bool((a >> i) & 1)
+                                assignment[f"b{i}"] = bool((b >> i) & 1)
+                                assignment[f"s{i}"] = bool((s >> i) & 1)
+                            assignment |= {"m": m, "cn": cn}
+                            assert alu181.evaluate_outputs(
+                                assignment
+                            ) == alu181_reference(a, b, s, m, cn)
+
+    def test_known_add_mode(self, alu181):
+        """S=1001, M=0, Cn=1 is A PLUS B."""
+        assignment = {f"s{i}": bool((0b1001 >> i) & 1) for i in range(4)}
+        assignment |= {"m": False, "cn": True}
+        for i in range(4):
+            assignment[f"a{i}"] = bool((5 >> i) & 1)
+            assignment[f"b{i}"] = bool((6 >> i) & 1)
+        out = alu181.evaluate_outputs(assignment)
+        total = sum(int(out[f"f{i}"]) << i for i in range(4))
+        assert total == (5 + 6) & 0xF
+        assert out["cn4"] == (5 + 6 <= 15)
+
+
+class TestC432:
+    def test_random_vectors(self):
+        circuit = get_circuit("c432")
+        rng = random.Random(42)
+        for _ in range(300):
+            requests, enables = rng.getrandbits(32), rng.getrandbits(4)
+            assignment = {f"r{i}": bool((requests >> i) & 1) for i in range(32)}
+            assignment |= {f"e{i}": bool((enables >> i) & 1) for i in range(4)}
+            assert circuit.evaluate_outputs(assignment) == c432_reference(
+                requests, enables
+            )
+
+    def test_priority_order(self):
+        circuit = get_circuit("c432")
+        # r0 and r31 both pending, everything enabled: r0 wins (index 0).
+        assignment = {f"r{i}": i in (0, 31) for i in range(32)}
+        assignment |= {f"e{i}": True for i in range(4)}
+        out = circuit.evaluate_outputs(assignment)
+        assert not any(out[f"q{b}"] for b in range(5))
+        assert out["anyreq"]
+
+
+class TestC499Family:
+    @staticmethod
+    def _assignment(data, check, enable):
+        assignment = {f"d{i}": bool((data >> i) & 1) for i in range(32)}
+        assignment |= {f"ch{i}": bool((check >> i) & 1) for i in range(8)}
+        assignment["en"] = enable
+        return assignment
+
+    def test_random_vectors(self):
+        circuit = get_circuit("c499")
+        rng = random.Random(7)
+        for _ in range(200):
+            data, check = rng.getrandbits(32), rng.getrandbits(8)
+            enable = bool(rng.getrandbits(1))
+            assert circuit.evaluate_outputs(
+                self._assignment(data, check, enable)
+            ) == c499_reference(data, check, enable)
+
+    def test_corrects_single_bit_error(self):
+        from repro.benchcircuits.c499 import signature
+
+        circuit = get_circuit("c499")
+        data = 0xDEADBEEF
+        # Clean check bits for this word: syndrome must be zero...
+        check = 0
+        for j in range(8):
+            parity = sum(
+                (data >> i) & 1 for i in range(32) if (signature(i) >> j) & 1
+            )
+            check |= (parity % 2) << j
+        corrupted = data ^ (1 << 13)
+        out = circuit.evaluate_outputs(self._assignment(corrupted, check, True))
+        recovered = sum(int(out[f"out{i}"]) << i for i in range(32))
+        assert recovered == data
+
+    def test_c1355_identical_function(self):
+        c499 = get_circuit("c499")
+        c1355 = get_circuit("c1355")
+        rng = random.Random(11)
+        for _ in range(100):
+            assignment = self._assignment(
+                rng.getrandbits(32), rng.getrandbits(8), bool(rng.getrandbits(1))
+            )
+            assert c499.evaluate_outputs(assignment) == c1355.evaluate_outputs(
+                assignment
+            )
+
+    def test_signatures_unique_nonzero(self):
+        from repro.benchcircuits.c499 import signature
+
+        signatures = [signature(i) for i in range(32)]
+        assert len(set(signatures)) == 32
+        assert all(0 < s < 256 for s in signatures)
+
+
+class TestC1908:
+    @staticmethod
+    def _assignment(data, check, mask, inj, en, pol):
+        assignment = {f"d{i}": bool((data >> i) & 1) for i in range(16)}
+        assignment |= {f"ch{i}": bool((check >> i) & 1) for i in range(6)}
+        assignment |= {f"mk{i}": bool((mask >> i) & 1) for i in range(8)}
+        assignment |= {"inj": inj, "en": en, "pol": pol}
+        return assignment
+
+    def test_random_vectors(self):
+        circuit = get_circuit("c1908")
+        rng = random.Random(3)
+        for _ in range(200):
+            args = (
+                rng.getrandbits(16),
+                rng.getrandbits(6),
+                rng.getrandbits(8),
+                bool(rng.getrandbits(1)),
+                bool(rng.getrandbits(1)),
+                bool(rng.getrandbits(1)),
+            )
+            assert circuit.evaluate_outputs(
+                self._assignment(*args)
+            ) == c1908_reference(*args)
+
+    def test_signatures_skip_powers_of_two(self):
+        from repro.benchcircuits.c1908 import signature
+
+        signatures = [signature(i) for i in range(16)]
+        assert len(set(signatures)) == 16
+        for s in signatures:
+            assert s != 0 and s & (s - 1) != 0
+
+    def test_nand_expanded(self):
+        from repro.circuit.gates import GateType
+
+        circuit = get_circuit("c1908")
+        assert not any(
+            g.gate_type in (GateType.XOR, GateType.XNOR)
+            for g in circuit.gates()
+        )

@@ -1,0 +1,132 @@
+"""Unit tests for the fluent circuit builder."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gates import GateType
+
+
+class TestBasics:
+    def test_fresh_names_avoid_collisions(self):
+        b = CircuitBuilder("x")
+        b.input("n1")  # occupy the first auto name
+        b.input("a")
+        fresh = b.fresh()
+        assert fresh != "n1"
+        b.not_("a", name=fresh)  # the fresh name really is usable
+
+    def test_input_vector_lsb_first(self):
+        b = CircuitBuilder("x")
+        bits = b.input_vector("d", 3)
+        assert bits == ["d0", "d1", "d2"]
+
+    def test_gate_methods_map_to_types(self):
+        b = CircuitBuilder("x")
+        a, bb = b.inputs("a", "b")
+        circuit_nets = {
+            b.and_(a, bb): GateType.AND,
+            b.or_(a, bb): GateType.OR,
+            b.nand(a, bb): GateType.NAND,
+            b.nor(a, bb): GateType.NOR,
+            b.xor(a, bb): GateType.XOR,
+            b.xnor(a, bb): GateType.XNOR,
+            b.not_(a): GateType.NOT,
+            b.buf(a): GateType.BUF,
+            b.const0(): GateType.CONST0,
+            b.const1(): GateType.CONST1,
+        }
+        for net in circuit_nets:
+            b.output(net)
+        circuit = b.build()
+        for net, expected in circuit_nets.items():
+            assert circuit.gate(net).gate_type is expected
+
+
+class TestTrees:
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 8])
+    def test_xor_tree_parity(self, width):
+        b = CircuitBuilder("x")
+        bits = b.input_vector("d", width)
+        b.output(b.xor_tree(bits, name="p"))
+        circuit = b.build()
+        for values in itertools.product([False, True], repeat=width):
+            assignment = dict(zip(bits, values))
+            assert circuit.evaluate_outputs(assignment)["p"] == (
+                sum(values) % 2 == 1
+            )
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 5])
+    def test_xor_chain_matches_tree(self, width):
+        bt, bc = CircuitBuilder("t"), CircuitBuilder("c")
+        bits_t = bt.input_vector("d", width)
+        bits_c = bc.input_vector("d", width)
+        bt.output(bt.xor_tree(bits_t, name="p"))
+        bc.output(bc.xor_chain(bits_c, name="p"))
+        tree, chain = bt.build(), bc.build()
+        for values in itertools.product([False, True], repeat=width):
+            assignment = dict(zip(bits_t, values))
+            assert tree.evaluate_outputs(assignment) == chain.evaluate_outputs(
+                assignment
+            )
+
+    def test_and_or_trees(self):
+        b = CircuitBuilder("x")
+        bits = b.input_vector("d", 5)
+        b.output(b.and_tree(bits, name="all"))
+        b.output(b.or_tree(bits, name="any"))
+        circuit = b.build()
+        for values in itertools.product([False, True], repeat=5):
+            out = circuit.evaluate_outputs(dict(zip(bits, values)))
+            assert out["all"] == all(values)
+            assert out["any"] == any(values)
+
+    def test_named_tree_output_has_requested_name(self):
+        b = CircuitBuilder("x")
+        bits = b.input_vector("d", 4)
+        net = b.xor_tree(bits, name="parity")
+        assert net == "parity"
+
+    def test_single_operand_named_tree_inserts_buffer(self):
+        b = CircuitBuilder("x")
+        (bit,) = b.input_vector("d", 1)
+        net = b.and_tree([bit], name="alias")
+        assert net == "alias"
+        b.output(net)
+        circuit = b.build()
+        assert circuit.gate("alias").gate_type is GateType.BUF
+
+    def test_empty_tree_rejected(self):
+        b = CircuitBuilder("x")
+        with pytest.raises(ValueError):
+            b.xor_tree([])
+        with pytest.raises(ValueError):
+            b.xor_chain([])
+        with pytest.raises(ValueError):
+            b.and_tree([])
+
+
+class TestComposites:
+    def test_mux(self):
+        b = CircuitBuilder("x")
+        s, d0, d1 = b.inputs("s", "d0", "d1")
+        b.output(b.mux(s, d0, d1, name="y"))
+        circuit = b.build()
+        for sel, v0, v1 in itertools.product([False, True], repeat=3):
+            out = circuit.evaluate_outputs({"s": sel, "d0": v0, "d1": v1})
+            assert out["y"] == (v1 if sel else v0)
+
+    def test_full_adder_helper(self):
+        b = CircuitBuilder("x")
+        a, bb, ci = b.inputs("a", "b", "ci")
+        total, carry = b.full_adder(a, bb, ci)
+        b.outputs(total, carry)
+        circuit = b.build()
+        for va, vb, vc in itertools.product([False, True], repeat=3):
+            out = circuit.evaluate_outputs({"a": va, "b": vb, "ci": vc})
+            expected = int(va) + int(vb) + int(vc)
+            assert out[total] == bool(expected & 1)
+            assert out[carry] == (expected >= 2)

@@ -1,0 +1,135 @@
+"""Tests for test-set compaction, coverage and random-test sizing."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.coverage import (
+    compact_test_set,
+    coverage,
+    escape_probability,
+    random_test_length,
+    random_test_length_for_set,
+)
+from repro.core.engine import DifferencePropagation
+from repro.faults.stuck_at import all_stuck_at_faults, collapsed_checkpoint_faults
+from repro.simulation.truthtable import TruthTableSimulator
+
+from tests.strategies import circuits
+
+
+class TestCompaction:
+    def test_covers_everything_on_c17(self, c17):
+        engine = DifferencePropagation(c17)
+        faults = collapsed_checkpoint_faults(c17)
+        result = compact_test_set(engine, faults)
+        assert set(result.detected) | set(result.redundant) == set(faults)
+        # Independent check by exhaustive simulation.
+        simulator = TruthTableSimulator(c17)
+        vectors = [
+            sum(1 << i for i, net in enumerate(c17.inputs) if t[net])
+            for t in result.tests
+        ]
+        for fault in result.detected:
+            word = simulator.detection_word(fault)
+            assert any((word >> v) & 1 for v in vectors)
+
+    def test_compact_is_smaller_than_one_test_per_fault(self, c95):
+        engine = DifferencePropagation(c95)
+        faults = collapsed_checkpoint_faults(c95)
+        result = compact_test_set(engine, faults)
+        assert result.num_tests < len(result.detected)
+        assert not result.redundant  # the adder is irredundant
+
+    def test_redundant_faults_reported(self):
+        from repro.circuit.builder import CircuitBuilder
+        from repro.faults.lines import Line
+        from repro.faults.stuck_at import StuckAtFault
+
+        # y = a | (a & b): the AND gate is redundant logic.
+        b = CircuitBuilder("red")
+        a, bb = b.inputs("a", "b")
+        conj = b.and_(a, bb, name="conj")
+        b.output(b.or_(a, conj, name="y"))
+        circuit = b.build()
+        engine = DifferencePropagation(circuit)
+        result = compact_test_set(
+            engine, [StuckAtFault(Line("conj"), False)]
+        )
+        assert result.redundant
+        assert not result.tests
+
+
+class TestCoverage:
+    def test_full_and_empty(self, c17):
+        engine = DifferencePropagation(c17)
+        faults = collapsed_checkpoint_faults(c17)
+        compact = compact_test_set(engine, faults)
+        detected, detectable = coverage(engine, faults, compact.tests)
+        assert detected == detectable == len(compact.detected)
+        detected, detectable = coverage(engine, faults, [])
+        assert detected == 0
+
+    def test_single_vector(self, fulladder):
+        engine = DifferencePropagation(fulladder)
+        faults = all_stuck_at_faults(fulladder)
+        vector = {"a": True, "b": True, "cin": True}
+        detected, detectable = coverage(engine, faults, [vector])
+        assert 0 < detected <= detectable
+
+
+class TestRandomTestSizing:
+    def test_escape_probability(self):
+        assert escape_probability(Fraction(1, 2), 0) == 1.0
+        assert escape_probability(Fraction(1, 2), 3) == pytest.approx(0.125)
+        with pytest.raises(ValueError):
+            escape_probability(0.5, -1)
+
+    def test_length_monotone_in_difficulty(self):
+        easy = random_test_length(Fraction(1, 2))
+        hard = random_test_length(Fraction(1, 1000))
+        assert hard > easy
+
+    def test_length_meets_confidence(self):
+        delta = Fraction(3, 100)
+        n = random_test_length(delta, confidence=0.99)
+        assert escape_probability(delta, n) <= 0.01
+        assert escape_probability(delta, n - 1) > 0.01
+
+    def test_certain_detection(self):
+        assert random_test_length(Fraction(1, 1)) == 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            random_test_length(Fraction(0))
+        with pytest.raises(ValueError):
+            random_test_length(Fraction(1, 2), confidence=1.0)
+
+    def test_set_length_driven_by_hardest(self):
+        detectabilities = [Fraction(1, 2), Fraction(1, 64), Fraction(0)]
+        n = random_test_length_for_set(detectabilities, confidence=0.9)
+        assert n == random_test_length(Fraction(1, 64), confidence=0.9)
+        assert random_test_length_for_set([], confidence=0.9) == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuits(max_inputs=4, max_gates=10))
+def test_compaction_achieves_full_coverage(circuit):
+    """Greedy covering must detect every detectable fault, always."""
+    engine = DifferencePropagation(circuit)
+    simulator = TruthTableSimulator(circuit)
+    faults = collapsed_checkpoint_faults(circuit)
+    result = compact_test_set(engine, faults)
+    vectors = [
+        sum(1 << i for i, net in enumerate(circuit.inputs) if t[net])
+        for t in result.tests
+    ]
+    for fault in faults:
+        word = simulator.detection_word(fault)
+        if word:
+            assert any((word >> v) & 1 for v in vectors), fault
+        else:
+            assert fault in result.redundant

@@ -1,0 +1,107 @@
+"""Deductive fault simulation versus the exhaustive oracle."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.faults.bridging import BridgeKind, BridgingFault
+from repro.faults.stuck_at import all_stuck_at_faults, collapsed_checkpoint_faults
+from repro.simulation.deductive import DeductiveFaultSimulator
+from repro.simulation.truthtable import TruthTableSimulator
+
+from tests.strategies import circuits
+
+
+def _oracle_detected(simulator, faults, vector_index):
+    return frozenset(
+        f
+        for f in faults
+        if (simulator.detection_word(f) >> vector_index) & 1
+    )
+
+
+class TestAgainstExhaustive:
+    @pytest.mark.parametrize("circuit_name", ["c17", "fulladder"])
+    def test_every_vector_every_fault(self, circuit_name, request):
+        circuit = request.getfixturevalue(circuit_name)
+        faults = all_stuck_at_faults(circuit)
+        deductive = DeductiveFaultSimulator(circuit, faults)
+        exhaustive = TruthTableSimulator(circuit)
+        for index in range(exhaustive.num_vectors):
+            assignment = exhaustive.assignment_for(index)
+            assert deductive.detected(assignment) == _oracle_detected(
+                exhaustive, faults, index
+            )
+
+    def test_sampled_vectors_on_c95(self, c95):
+        faults = collapsed_checkpoint_faults(c95)
+        deductive = DeductiveFaultSimulator(c95, faults)
+        exhaustive = TruthTableSimulator(c95)
+        rng = random.Random(0)
+        for _ in range(40):
+            index = rng.randrange(exhaustive.num_vectors)
+            assignment = exhaustive.assignment_for(index)
+            assert deductive.detected(assignment) == _oracle_detected(
+                exhaustive, faults, index
+            )
+
+    def test_campaign_union(self, c17):
+        faults = all_stuck_at_faults(c17)
+        deductive = DeductiveFaultSimulator(c17, faults)
+        exhaustive = TruthTableSimulator(c17)
+        vectors = [exhaustive.assignment_for(i) for i in (0, 7, 21, 31)]
+        expected = frozenset()
+        for i in (0, 7, 21, 31):
+            expected |= _oracle_detected(exhaustive, faults, i)
+        assert deductive.campaign(vectors) == expected
+
+
+class TestInterface:
+    def test_rejects_bridges(self, c17):
+        with pytest.raises(TypeError):
+            DeductiveFaultSimulator(
+                c17, [BridgingFault("G1", "G2", BridgeKind.AND)]
+            )
+
+    def test_rejects_unknown_lines(self, c17):
+        from repro.faults.lines import Line
+        from repro.faults.stuck_at import StuckAtFault
+
+        with pytest.raises(Exception):
+            DeductiveFaultSimulator(c17, [StuckAtFault(Line("nope"), True)])
+
+    def test_branch_faults_stay_on_their_pin(self, c17):
+        """The branch list must differ from the stem list on fanout nets."""
+        from repro.faults.lines import Line
+        from repro.faults.stuck_at import StuckAtFault
+
+        stem = StuckAtFault(Line("G11"), True)
+        branch = StuckAtFault(Line("G11", "G16", 1), True)
+        deductive = DeductiveFaultSimulator(c17, [stem, branch])
+        exhaustive = TruthTableSimulator(c17)
+        differing = 0
+        for index in range(exhaustive.num_vectors):
+            assignment = exhaustive.assignment_for(index)
+            detected = deductive.detected(assignment)
+            expected = _oracle_detected(exhaustive, [stem, branch], index)
+            assert detected == expected
+            if (stem in detected) != (branch in detected):
+                differing += 1
+        assert differing > 0  # the two faults are genuinely different
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuits(max_inputs=4, max_gates=12))
+def test_deductive_matches_exhaustive_on_random_circuits(circuit):
+    faults = all_stuck_at_faults(circuit)
+    deductive = DeductiveFaultSimulator(circuit, faults)
+    exhaustive = TruthTableSimulator(circuit)
+    for index in range(exhaustive.num_vectors):
+        assignment = exhaustive.assignment_for(index)
+        assert deductive.detected(assignment) == _oracle_detected(
+            exhaustive, faults, index
+        )

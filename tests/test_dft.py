@@ -1,0 +1,79 @@
+"""Tests for the DFT advisor module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dft import (
+    insert_observation_points,
+    mean_detectability_gain,
+    recommend_observation_points,
+)
+from repro.core.engine import DifferencePropagation
+from repro.faults.stuck_at import collapsed_checkpoint_faults
+
+
+@pytest.fixture(scope="module")
+def c95_campaign():
+    from repro.benchcircuits import get_circuit
+
+    circuit = get_circuit("c95")
+    engine = DifferencePropagation(circuit)
+    faults = collapsed_checkpoint_faults(circuit)
+    return circuit, [(f, engine.analyze(f).detectability) for f in faults]
+
+
+class TestRecommendation:
+    def test_returns_internal_nets_only(self, c95_campaign):
+        circuit, results = c95_campaign
+        plan = recommend_observation_points(circuit, results, count=3)
+        assert 0 < len(plan.nets) <= 3
+        for net in plan.nets:
+            assert not circuit.is_input(net)
+            assert not circuit.is_output(net)
+
+    def test_targets_hard_bands(self, c95_campaign):
+        circuit, results = c95_campaign
+        plan = recommend_observation_points(circuit, results, count=3)
+        distance = circuit.levels_to_po()
+        assert all(distance[net] in plan.target_bands for net in plan.nets)
+        assert all(band > 0 for band in plan.target_bands)
+
+    def test_count_validation(self, c95_campaign):
+        circuit, results = c95_campaign
+        with pytest.raises(ValueError):
+            recommend_observation_points(circuit, results, count=0)
+
+
+class TestInsertion:
+    def test_adds_outputs_on_a_copy(self, c95_campaign):
+        circuit, results = c95_campaign
+        plan = recommend_observation_points(circuit, results, count=2)
+        modified = insert_observation_points(circuit, plan.nets)
+        assert modified is not circuit
+        assert modified.num_outputs == circuit.num_outputs + len(plan.nets)
+        for net in plan.nets:
+            assert modified.is_output(net)
+            assert not circuit.is_output(net)  # original untouched
+
+    def test_observation_points_never_hurt(self, c95_campaign):
+        """Per-fault detectability is monotone in added observability."""
+        circuit, before = c95_campaign
+        plan = recommend_observation_points(circuit, before, count=3)
+        modified = insert_observation_points(circuit, plan.nets)
+        engine = DifferencePropagation(modified)
+        after = [(f, engine.analyze(f).detectability) for f, _d in before]
+        for (fault, old), (_fault, new) in zip(before, after):
+            assert new >= old, fault
+        assert mean_detectability_gain(before, after) >= 0.0
+
+
+class TestGain:
+    def test_gain_math(self):
+        before = [("f1", 0.2), ("f2", 0.2)]
+        after = [("f1", 0.3), ("f2", 0.3)]
+        assert mean_detectability_gain(before, after) == pytest.approx(0.5)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            mean_detectability_gain([("f", 0.5)], [])

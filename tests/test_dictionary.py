@@ -1,0 +1,110 @@
+"""Tests for the fault dictionary and diagnosis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dictionary import FaultDictionary
+from repro.core.coverage import compact_test_set
+from repro.core.engine import DifferencePropagation
+from repro.faults.lines import Line
+from repro.faults.stuck_at import StuckAtFault, collapsed_checkpoint_faults
+from repro.simulation.injection import injection_for
+from repro.simulation import _engine as sim_engine
+from repro.simulation.truthtable import TruthTableSimulator
+
+
+@pytest.fixture(scope="module")
+def c17_dictionary():
+    from repro.benchcircuits import get_circuit
+
+    circuit = get_circuit("c17")
+    engine = DifferencePropagation(circuit)
+    faults = collapsed_checkpoint_faults(circuit)
+    tests = compact_test_set(engine, faults).tests
+    return circuit, engine, faults, FaultDictionary(engine, faults, tests)
+
+
+class TestSignatures:
+    def test_signatures_match_fault_simulation(self, c17_dictionary):
+        """Dictionary rows equal what an injected simulation observes."""
+        circuit, _engine, faults, dictionary = c17_dictionary
+        simulator = TruthTableSimulator(circuit)
+        good = {net: simulator.good_word(net) for net in circuit.nets}
+        for fault in faults:
+            faulty = sim_engine.faulty_pass(
+                circuit, good, injection_for(fault), simulator.mask
+            )
+            for i, vector in enumerate(dictionary.tests):
+                index = sum(
+                    1 << k
+                    for k, net in enumerate(circuit.inputs)
+                    if vector[net]
+                )
+                failing = {
+                    po
+                    for po in circuit.outputs
+                    if ((good[po] ^ faulty[po]) >> index) & 1
+                }
+                assert dictionary.signature(fault)[i] == frozenset(failing)
+
+    def test_expected_failures_shape(self, c17_dictionary):
+        _circuit, _engine, faults, dictionary = c17_dictionary
+        entries = dictionary.expected_failures(faults[0])
+        assert len(entries) == len(dictionary.tests)
+        assert all(entry.fault == faults[0] for entry in entries)
+
+
+class TestDiagnosis:
+    def test_self_diagnosis(self, c17_dictionary):
+        """Feeding a fault's own signature must return that fault."""
+        _circuit, _engine, faults, dictionary = c17_dictionary
+        for fault in faults[:6]:
+            candidates = dictionary.diagnose(dictionary.signature(fault))
+            assert fault in candidates
+
+    def test_wrong_length_rejected(self, c17_dictionary):
+        *_rest, dictionary = c17_dictionary
+        with pytest.raises(ValueError):
+            dictionary.diagnose([set()])
+
+    def test_pass_fail_diagnosis(self, c17_dictionary):
+        _circuit, _engine, faults, dictionary = c17_dictionary
+        fault = faults[0]
+        failed = {
+            i
+            for i, pos in enumerate(dictionary.signature(fault))
+            if pos
+        }
+        candidates = dictionary.diagnose_pass_fail(failed)
+        assert fault in candidates
+
+    def test_pass_fail_range_check(self, c17_dictionary):
+        *_rest, dictionary = c17_dictionary
+        with pytest.raises(ValueError):
+            dictionary.diagnose_pass_fail([999])
+
+    def test_no_failures_means_no_fault_candidates(self, c17_dictionary):
+        """An all-pass response matches no detectable fault.
+
+        (The compact test set detects every fault in the dictionary, so
+        every fault fails somewhere.)
+        """
+        *_rest, dictionary = c17_dictionary
+        empty = [frozenset()] * len(dictionary.tests)
+        assert dictionary.diagnose(empty) == []
+
+
+class TestResolution:
+    def test_resolution_bounds(self, c17_dictionary):
+        *_rest, dictionary = c17_dictionary
+        assert 0.0 < dictionary.diagnostic_resolution() <= 1.0
+
+    def test_single_fault_dictionary(self, c17):
+        engine = DifferencePropagation(c17)
+        fault = StuckAtFault(Line("G10"), True)
+        dictionary = FaultDictionary(
+            engine, [fault], [dict.fromkeys(c17.inputs, True)]
+        )
+        assert dictionary.diagnostic_resolution() == 1.0
+        assert dictionary.distinguishable_pairs() == 0

@@ -1,0 +1,58 @@
+"""The shipped examples must run clean (they are executable docs)."""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "complete test set size" in out
+    assert "detecting vectors" in out
+
+
+def test_atpg_testset(capsys):
+    out = _run("atpg_testset.py", capsys)
+    assert "compact test set" in out
+    assert "100.0%" in out
+
+
+def test_bridging_analysis(capsys):
+    out = _run("bridging_analysis.py", capsys)
+    assert "AND bridges" in out and "OR bridges" in out
+    assert "double stuck-at in disguise" in out
+
+
+def test_dft_advisor(capsys):
+    out = _run("dft_advisor.py", capsys)
+    assert "inserting observation points" in out
+    assert "mean detectability" in out
+
+
+def test_fault_diagnosis(capsys):
+    out = _run("fault_diagnosis.py", capsys)
+    assert "full-response diagnosis" in out
+    assert "<-- injected" in out
+
+
+def test_every_example_is_covered():
+    """Adding an example without a smoke test here should fail loudly."""
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = {
+        "quickstart.py",
+        "atpg_testset.py",
+        "bridging_analysis.py",
+        "dft_advisor.py",
+        "fault_diagnosis.py",
+    }
+    assert scripts == covered

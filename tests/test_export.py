@@ -1,0 +1,42 @@
+"""Round-trip tests for the benchmark-suite exporter."""
+
+from __future__ import annotations
+
+import random
+
+from repro.benchcircuits.export import export_suite, main
+from repro.benchcircuits.registry import CIRCUIT_NAMES, get_circuit
+from repro.circuit.iscas import parse_bench_file
+
+
+def test_export_writes_all_circuits(tmp_path):
+    paths = export_suite(tmp_path)
+    assert len(paths) == len(CIRCUIT_NAMES)
+    assert {p.stem for p in paths} == set(CIRCUIT_NAMES)
+    for path in paths:
+        assert "provenance:" in path.read_text()
+
+
+def test_roundtrip_preserves_structure_and_function(tmp_path):
+    paths = export_suite(tmp_path)
+    rng = random.Random(0)
+    for path in paths:
+        original = get_circuit(path.stem)
+        parsed = parse_bench_file(path)
+        assert parsed.inputs == original.inputs
+        assert parsed.outputs == original.outputs
+        assert parsed.num_gates == original.num_gates
+        for _ in range(20):
+            assignment = {
+                net: bool(rng.getrandbits(1)) for net in original.inputs
+            }
+            assert parsed.evaluate_outputs(assignment) == (
+                original.evaluate_outputs(assignment)
+            )
+
+
+def test_cli(tmp_path, capsys):
+    assert main([str(tmp_path / "suite")]) == 0
+    out = capsys.readouterr().out
+    assert "c17.bench" in out
+    assert main([]) == 2

@@ -1,0 +1,56 @@
+"""Unit tests for the Line fault-site abstraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.netlist import CircuitError
+from repro.faults.lines import Line, branch_lines, stem_lines
+
+
+class TestLine:
+    def test_stem_vs_branch(self):
+        stem = Line("net")
+        branch = Line("net", "sink", 0)
+        assert stem.is_stem and not stem.is_branch
+        assert branch.is_branch and not branch.is_stem
+
+    def test_half_specified_branch_rejected(self):
+        with pytest.raises(ValueError):
+            Line("net", sink="g")
+        with pytest.raises(ValueError):
+            Line("net", pin=0)
+
+    def test_ordering_puts_stems_first(self):
+        stem = Line("net")
+        branch = Line("net", "g", 0)
+        assert stem < branch
+        assert sorted([branch, stem]) == [stem, branch]
+
+    def test_str(self):
+        assert str(Line("n")) == "n"
+        assert str(Line("n", "g", 2)) == "n->g.2"
+
+    def test_validate(self, tiny_circuit):
+        Line("conj").validate(tiny_circuit)
+        Line("a", "conj", 0).validate(tiny_circuit)
+        with pytest.raises(CircuitError):
+            Line("missing").validate(tiny_circuit)
+        with pytest.raises(CircuitError):
+            Line("a", "conj", 1).validate(tiny_circuit)  # pin 1 is b
+        with pytest.raises(CircuitError):
+            Line("a", "a", 0).validate(tiny_circuit)  # PI is not a gate
+
+
+class TestEnumeration:
+    def test_stem_lines_cover_all_nets(self, tiny_circuit):
+        lines = stem_lines(tiny_circuit)
+        assert [l.net for l in lines] == list(tiny_circuit.nets)
+        assert all(l.is_stem for l in lines)
+
+    def test_branch_lines_cover_all_connections(self, tiny_circuit):
+        lines = branch_lines(tiny_circuit)
+        total_pins = sum(len(g.fanins) for g in tiny_circuit.gates())
+        assert len(lines) == total_pins
+        for line in lines:
+            line.validate(tiny_circuit)

@@ -1,0 +1,62 @@
+"""The symbolic fault simulator must agree with Difference Propagation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.engine import DifferencePropagation
+from repro.core.faulty_sim import SymbolicFaultSimulator
+from repro.core.symbolic import CircuitFunctions
+from repro.faults.bridging import BridgeKind, enumerate_nfbfs
+from repro.faults.lines import Line
+from repro.faults.stuck_at import StuckAtFault, all_stuck_at_faults
+
+from tests.strategies import circuits
+
+
+class TestAgreementWithDifferencePropagation:
+    def test_stuck_at_on_c17(self, c17):
+        functions = CircuitFunctions(c17)
+        dp = DifferencePropagation(c17, functions=functions)
+        sim = SymbolicFaultSimulator(c17, functions=functions)
+        for fault in all_stuck_at_faults(c17):
+            a = dp.analyze(fault)
+            b = sim.analyze(fault)
+            assert a.tests == b.tests
+            assert a.observable_pos == b.observable_pos
+
+    def test_bridges_on_c17(self, c17):
+        functions = CircuitFunctions(c17)
+        dp = DifferencePropagation(c17, functions=functions)
+        sim = SymbolicFaultSimulator(c17, functions=functions)
+        for kind in BridgeKind:
+            for fault in enumerate_nfbfs(c17, kind):
+                assert dp.analyze(fault).tests == sim.analyze(fault).tests
+
+    def test_branch_faults_on_c95(self, c95):
+        functions = CircuitFunctions(c95)
+        dp = DifferencePropagation(c95, functions=functions)
+        sim = SymbolicFaultSimulator(c95, functions=functions)
+        branch_faults = [
+            f for f in all_stuck_at_faults(c95) if f.line.is_branch
+        ]
+        for fault in branch_faults[::9]:
+            assert dp.analyze(fault).tests == sim.analyze(fault).tests
+
+    def test_unsupported_fault(self, c17):
+        import pytest
+
+        sim = SymbolicFaultSimulator(c17)
+        with pytest.raises(TypeError):
+            sim.analyze(42)  # type: ignore[arg-type]
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuits(max_inputs=4, max_gates=10))
+def test_two_engines_agree_on_random_circuits(circuit):
+    """Propagating Δf or propagating F must land on the same test sets."""
+    functions = CircuitFunctions(circuit)
+    dp = DifferencePropagation(circuit, functions=functions)
+    sim = SymbolicFaultSimulator(circuit, functions=functions)
+    for fault in all_stuck_at_faults(circuit)[::4]:
+        assert dp.analyze(fault).tests == sim.analyze(fault).tests

@@ -1,0 +1,84 @@
+"""Unit tests for gate semantics (bool and word evaluation)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.circuit.gates import GateType, eval_gate, eval_gate_words
+
+_TRUTH = {
+    GateType.AND: lambda vs: all(vs),
+    GateType.NAND: lambda vs: not all(vs),
+    GateType.OR: lambda vs: any(vs),
+    GateType.NOR: lambda vs: not any(vs),
+    GateType.XOR: lambda vs: sum(vs) % 2 == 1,
+    GateType.XNOR: lambda vs: sum(vs) % 2 == 0,
+}
+
+
+@pytest.mark.parametrize("gate_type", sorted(_TRUTH, key=lambda g: g.value))
+@pytest.mark.parametrize("arity", [2, 3, 4])
+def test_eval_gate_all_combinations(gate_type, arity):
+    for values in itertools.product([False, True], repeat=arity):
+        assert eval_gate(gate_type, values) == _TRUTH[gate_type](values)
+
+
+def test_eval_unary_and_const():
+    assert eval_gate(GateType.BUF, [True]) is True
+    assert eval_gate(GateType.NOT, [True]) is False
+    assert eval_gate(GateType.CONST0, []) is False
+    assert eval_gate(GateType.CONST1, []) is True
+
+
+def test_eval_gate_rejects_input_type():
+    with pytest.raises(ValueError):
+        eval_gate(GateType.INPUT, [])
+
+
+@pytest.mark.parametrize("gate_type", sorted(_TRUTH, key=lambda g: g.value))
+def test_words_agree_with_bools(gate_type):
+    # 2 operands over 4-bit words enumerate all input pairs at once.
+    a, b = 0b0101, 0b0011
+    mask = 0b1111
+    word = eval_gate_words(gate_type, [a, b], mask)
+    for bit in range(4):
+        values = [bool((a >> bit) & 1), bool((b >> bit) & 1)]
+        assert bool((word >> bit) & 1) == eval_gate(gate_type, values)
+
+
+def test_words_not_and_const():
+    mask = 0b1111
+    assert eval_gate_words(GateType.NOT, [0b0101], mask) == 0b1010
+    assert eval_gate_words(GateType.BUF, [0b0101], mask) == 0b0101
+    assert eval_gate_words(GateType.CONST0, [], mask) == 0
+    assert eval_gate_words(GateType.CONST1, [], mask) == mask
+
+
+def test_words_stay_nonnegative():
+    mask = (1 << 256) - 1
+    word = eval_gate_words(GateType.NOR, [0, 0], mask)
+    assert word == mask and word >= 0
+
+
+class TestGateTypeMetadata:
+    def test_controlling_values(self):
+        assert GateType.AND.controlling_value is False
+        assert GateType.NAND.controlling_value is False
+        assert GateType.OR.controlling_value is True
+        assert GateType.NOR.controlling_value is True
+        assert GateType.XOR.controlling_value is None
+
+    def test_base_and_inverting(self):
+        assert GateType.NAND.base is GateType.AND
+        assert GateType.NOR.base is GateType.OR
+        assert GateType.XNOR.base is GateType.XOR
+        assert GateType.NOT.base is GateType.BUF
+        assert GateType.NAND.is_inverting
+        assert not GateType.AND.is_inverting
+
+    def test_arities(self):
+        assert GateType.NOT.min_arity == GateType.NOT.max_arity == 1
+        assert GateType.AND.min_arity == 2
+        assert GateType.AND.max_arity is None

@@ -1,0 +1,117 @@
+"""Cross-tool integration properties: the whole pipeline on one circuit.
+
+Each test chains several subsystems the way a user would and checks
+the invariants that must hold *between* tools — the kind of bug unit
+tests cannot see.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.analysis.observability import pos_fed_by_fault
+from repro.atpg import Podem, PodemStatus
+from repro.core.coverage import compact_test_set, coverage
+from repro.core.engine import DifferencePropagation
+from repro.core.metrics import adherence, detectability_upper_bound
+from repro.core.redundancy import classify_redundancies
+from repro.core.symbolic import CircuitFunctions
+from repro.faults.stuck_at import collapsed_checkpoint_faults
+from repro.simulation.deductive import DeductiveFaultSimulator
+from repro.simulation.single import detects
+from repro.simulation.truthtable import TruthTableSimulator
+
+from tests.strategies import circuits
+
+
+@settings(max_examples=12, deadline=None)
+@given(circuits(max_inputs=4, max_gates=12))
+def test_full_stuck_at_pipeline_invariants(circuit):
+    """DP, PODEM, deductive sim, bounds and redundancy must all agree."""
+    functions = CircuitFunctions(circuit)
+    engine = DifferencePropagation(circuit, functions=functions)
+    podem = Podem(circuit)
+    faults = collapsed_checkpoint_faults(circuit)
+    deductive = DeductiveFaultSimulator(circuit, faults)
+    oracle = TruthTableSimulator(circuit)
+
+    analyses = {f: engine.analyze(f) for f in faults}
+    redundant = {r.fault for r in classify_redundancies(engine, faults)}
+
+    for fault, analysis in analyses.items():
+        # Exactness against brute force.
+        assert analysis.detectability == oracle.detectability(fault)
+        # Bound and adherence invariants.
+        bound = detectability_upper_bound(functions, fault)
+        assert analysis.detectability <= bound
+        a = adherence(analysis.detectability, bound)
+        assert a is None or 0 <= a <= 1
+        # Observability never exceeds structural reach.
+        assert analysis.observable_pos <= pos_fed_by_fault(circuit, fault)
+        # Redundancy classification is exactly the zero-test-set faults.
+        assert (fault in redundant) == (not analysis.is_detectable)
+        # PODEM agrees on detectability and lands inside the test set.
+        result = podem.generate(fault)
+        assert result.status is not PodemStatus.ABORTED
+        assert result.found == analysis.is_detectable
+        if result.found:
+            assert analysis.tests.evaluate(result.test)
+            # Both fault simulators agree this vector detects the fault.
+            assert detects(circuit, result.test, fault)
+            assert fault in deductive.detected(result.test)
+
+
+@settings(max_examples=10, deadline=None)
+@given(circuits(max_inputs=4, max_gates=10))
+def test_compaction_coverage_closure(circuit):
+    """compact_test_set → coverage must report exactly full coverage,
+    and the deductive campaign over the same vectors must agree."""
+    engine = DifferencePropagation(circuit)
+    faults = collapsed_checkpoint_faults(circuit)
+    compaction = compact_test_set(engine, faults)
+    detected, detectable = coverage(engine, faults, compaction.tests)
+    assert detected == detectable == len(compaction.detected)
+    deductive = DeductiveFaultSimulator(circuit, faults)
+    dropped = deductive.campaign(compaction.tests)
+    assert set(compaction.detected) <= dropped  # lists may share extras
+    assert not (dropped & set(compaction.redundant))
+
+
+@settings(max_examples=10, deadline=None)
+@given(circuits(max_inputs=4, max_gates=10))
+def test_detectability_is_random_detection_probability(circuit):
+    """δ really is the per-vector detection probability: counting the
+    detecting vectors of the exhaustive simulator reproduces it."""
+    engine = DifferencePropagation(circuit)
+    oracle = TruthTableSimulator(circuit)
+    for fault in collapsed_checkpoint_faults(circuit)[::2]:
+        analysis = engine.analyze(fault)
+        hits = sum(
+            1
+            for index in range(oracle.num_vectors)
+            if (oracle.detection_word(fault) >> index) & 1
+        )
+        assert analysis.detectability == Fraction(hits, oracle.num_vectors)
+
+
+@settings(max_examples=10, deadline=None)
+@given(circuits(max_inputs=4, max_gates=10))
+def test_atpg_flow_closes_the_loop(circuit):
+    """PODEM + deductive dropping must reach exactly full coverage,
+    agreeing with DP about which faults are redundant."""
+    from repro.atpg import run_atpg_flow
+
+    engine = DifferencePropagation(circuit)
+    faults = collapsed_checkpoint_faults(circuit)
+    flow = run_atpg_flow(circuit, faults)
+    assert not flow.aborted
+    assert flow.coverage == 1.0
+    for fault in faults:
+        analysis = engine.analyze(fault)
+        if analysis.is_detectable:
+            assert fault in set(flow.detected)
+            assert any(analysis.tests.evaluate(t) for t in flow.tests)
+        else:
+            assert fault in set(flow.redundant)

@@ -1,0 +1,127 @@
+"""Unit tests for the ISCAS-85 .bench reader/writer."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuit.iscas import (
+    BenchFormatError,
+    parse_bench,
+    parse_bench_file,
+    write_bench,
+    write_bench_file,
+)
+
+from tests.strategies import circuits
+
+C17_TEXT = """
+# c17 from the ISCAS-85 distribution
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+class TestParse:
+    def test_parse_c17(self):
+        circuit = parse_bench(C17_TEXT, name="c17")
+        assert circuit.num_inputs == 5
+        assert circuit.num_outputs == 2
+        assert circuit.num_gates == 6
+
+    def test_parse_matches_builtin_c17(self, c17):
+        parsed = parse_bench(C17_TEXT)
+        for values in itertools.product([False, True], repeat=5):
+            assignment = dict(zip(parsed.inputs, values))
+            assert parsed.evaluate_outputs(assignment) == c17.evaluate_outputs(
+                assignment
+            )
+
+    def test_out_of_order_gates_are_sorted(self):
+        text = """
+        INPUT(a)
+        OUTPUT(y)
+        y = NOT(mid)
+        mid = NOT(a)
+        """
+        circuit = parse_bench(text)
+        assert circuit.evaluate_outputs({"a": True}) == {"y": True}
+
+    def test_gate_aliases(self):
+        text = """
+        INPUT(a)
+        OUTPUT(x)
+        OUTPUT(y)
+        x = BUFF(a)
+        y = INV(a)
+        """
+        circuit = parse_bench(text)
+        assert circuit.evaluate_outputs({"a": True}) == {"x": True, "y": False}
+
+    def test_dff_rejected(self):
+        with pytest.raises(BenchFormatError, match="DFF"):
+            parse_bench("INPUT(a)\nq = DFF(a)\nOUTPUT(q)")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(BenchFormatError, match="unknown gate"):
+            parse_bench("INPUT(a)\ny = FROB(a)\nOUTPUT(y)")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(BenchFormatError, match="cannot parse"):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+    def test_redefined_net_rejected(self):
+        text = "INPUT(a)\ny = NOT(a)\ny = BUF(a)\nOUTPUT(y)"
+        with pytest.raises(BenchFormatError, match="redefined"):
+            parse_bench(text)
+
+    def test_cycle_rejected(self):
+        text = "INPUT(a)\nx = NOT(y)\ny = NOT(x)\nOUTPUT(y)"
+        with pytest.raises(BenchFormatError, match="cyclic"):
+            parse_bench(text)
+
+
+class TestWrite:
+    def test_roundtrip_c17(self, c17):
+        text = write_bench(c17)
+        again = parse_bench(text, name="c17")
+        assert again.nets == c17.nets
+        assert again.outputs == c17.outputs
+
+    def test_header_comments(self, c17):
+        text = write_bench(c17, header=["surrogate note"])
+        assert "# surrogate note" in text
+        parse_bench(text)  # comments must not break parsing
+
+    def test_file_roundtrip(self, c17, tmp_path):
+        path = tmp_path / "c17.bench"
+        write_bench_file(c17, path)
+        again = parse_bench_file(path)
+        assert again.name == "c17"
+        assert again.num_gates == c17.num_gates
+
+
+@settings(max_examples=40, deadline=None)
+@given(circuits(max_inputs=4, max_gates=12))
+def test_roundtrip_preserves_function(circuit):
+    again = parse_bench(write_bench(circuit), name=circuit.name)
+    assert again.inputs == circuit.inputs
+    assert again.outputs == circuit.outputs
+    for values in itertools.product([False, True], repeat=circuit.num_inputs):
+        assignment = dict(zip(circuit.inputs, values))
+        assert again.evaluate_outputs(assignment) == circuit.evaluate_outputs(
+            assignment
+        )

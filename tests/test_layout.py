@@ -1,0 +1,65 @@
+"""Unit tests for the pseudo-layout estimator (paper §2.2)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.layout import estimate_coordinates, wire_distance
+
+
+def _sample():
+    b = CircuitBuilder("layout")
+    a, bb, c = b.inputs("a", "b", "c")
+    g1 = b.and_(a, bb, name="g1")
+    g2 = b.or_(g1, c, name="g2")
+    b.output(g2)
+    return b.build()
+
+
+class TestCoordinates:
+    def test_pi_coordinates_follow_declared_order(self):
+        coords = estimate_coordinates(_sample())
+        assert coords["a"] == (0.0, 0.0)
+        assert coords["b"] == (0.0, 1.0)
+        assert coords["c"] == (0.0, 2.0)
+
+    def test_x_is_level(self):
+        coords = estimate_coordinates(_sample())
+        assert coords["g1"][0] == 1.0
+        assert coords["g2"][0] == 2.0
+
+    def test_y_is_mean_of_fanins(self):
+        coords = estimate_coordinates(_sample())
+        assert coords["g1"][1] == 0.5  # mean of a (0) and b (1)
+        assert coords["g2"][1] == (0.5 + 2.0) / 2  # mean of g1 and c
+
+    def test_constant_gates_get_default_y(self):
+        b = CircuitBuilder("const")
+        b.input("a")
+        one = b.const1(name="one")
+        b.output(b.and_("a", one, name="y"))
+        coords = estimate_coordinates(b.build())
+        assert coords["one"] == (0.0, 0.0)  # single PI: default y = 0
+
+    def test_every_net_has_coordinates(self, alu181):
+        coords = estimate_coordinates(alu181)
+        assert set(coords) == set(alu181.nets)
+
+
+class TestDistances:
+    def test_euclidean(self):
+        coords = estimate_coordinates(_sample())
+        expected = math.hypot(
+            coords["g1"][0] - coords["c"][0], coords["g1"][1] - coords["c"][1]
+        )
+        assert wire_distance(coords, "g1", "c") == expected
+
+    def test_symmetry_and_zero(self):
+        coords = estimate_coordinates(_sample())
+        assert wire_distance(coords, "a", "g2") == wire_distance(coords, "g2", "a")
+        assert wire_distance(coords, "a", "a") == 0.0
+
+    def test_adjacent_pis_are_closest(self):
+        coords = estimate_coordinates(_sample())
+        assert wire_distance(coords, "a", "b") < wire_distance(coords, "a", "c")

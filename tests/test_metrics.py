@@ -1,0 +1,154 @@
+"""Tests for syndromes, upper bounds, adherence, and bridge equivalence."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.circuit.builder import CircuitBuilder
+from repro.core.engine import DifferencePropagation
+from repro.core.metrics import (
+    adherence,
+    bridge_excitation,
+    bridge_site_function,
+    detectability_upper_bound,
+    is_stuck_at_equivalent,
+)
+from repro.core.symbolic import CircuitFunctions
+from repro.faults.bridging import BridgeKind, BridgingFault, enumerate_nfbfs
+from repro.faults.lines import Line
+from repro.faults.stuck_at import StuckAtFault, all_stuck_at_faults
+
+from tests.strategies import circuits
+
+
+class TestUpperBound:
+    def test_stuck_at_bounds_are_syndrome_based(self, c95):
+        functions = CircuitFunctions(c95)
+        syndrome = functions.syndrome("g0")
+        assert detectability_upper_bound(
+            functions, StuckAtFault(Line("g0"), False)
+        ) == syndrome
+        assert detectability_upper_bound(
+            functions, StuckAtFault(Line("g0"), True)
+        ) == 1 - syndrome
+
+    def test_bridge_bound_is_disagreement_density(self, c95):
+        functions = CircuitFunctions(c95)
+        fault = BridgingFault("g0", "p0", BridgeKind.AND)
+        assert detectability_upper_bound(functions, fault) == (
+            functions.function("g0") ^ functions.function("p0")
+        ).density()
+
+    def test_po_fault_reaches_its_bound(self, fulladder):
+        """A PO stem fault's detectability equals its upper bound."""
+        functions = CircuitFunctions(fulladder)
+        engine = DifferencePropagation(fulladder, functions=functions)
+        for po in fulladder.outputs:
+            for value in (False, True):
+                fault = StuckAtFault(Line(po), value)
+                analysis = engine.analyze(fault)
+                bound = detectability_upper_bound(functions, fault)
+                assert analysis.detectability == bound
+
+
+class TestAdherence:
+    def test_range_and_definition(self):
+        assert adherence(Fraction(1, 4), Fraction(1, 2)) == Fraction(1, 2)
+        assert adherence(Fraction(0), Fraction(1, 2)) == 0
+        assert adherence(Fraction(0), Fraction(0)) is None
+
+    def test_po_faults_have_adherence_one(self, c95):
+        functions = CircuitFunctions(c95)
+        engine = DifferencePropagation(c95, functions=functions)
+        for po in c95.outputs:
+            fault = StuckAtFault(Line(po), False)
+            bound = detectability_upper_bound(functions, fault)
+            if bound == 0:
+                continue
+            value = adherence(engine.analyze(fault).detectability, bound)
+            assert value == 1
+
+
+class TestBridgeEquivalence:
+    def test_constant_and_bridge_is_stuck_at(self):
+        """Bridging complementary wires with AND sticks both at zero."""
+        b = CircuitBuilder("compl")
+        x, y = b.inputs("x", "y")
+        pos = b.and_(x, y, name="pos")
+        neg = b.nand(x, y, name="neg")
+        b.output(b.or_(pos, neg, name="o1"))
+        b.output(b.xor(pos, neg, name="o2"))
+        circuit = b.build()
+        functions = CircuitFunctions(circuit)
+        and_bridge = BridgingFault("pos", "neg", BridgeKind.AND)
+        or_bridge = BridgingFault("pos", "neg", BridgeKind.OR)
+        assert is_stuck_at_equivalent(functions, and_bridge)  # pos·neg ≡ 0
+        assert is_stuck_at_equivalent(functions, or_bridge)  # pos+neg ≡ 1
+        assert bridge_site_function(functions, and_bridge).is_zero
+        assert bridge_site_function(functions, or_bridge).is_one
+
+    def test_generic_bridge_is_not_stuck_at(self, c17):
+        functions = CircuitFunctions(c17)
+        fault = BridgingFault("G10", "G19", BridgeKind.AND)
+        assert not is_stuck_at_equivalent(functions, fault)
+
+    def test_excitation_is_symmetric_in_kind(self, c17):
+        functions = CircuitFunctions(c17)
+        and_bf = BridgingFault("G10", "G19", BridgeKind.AND)
+        or_bf = BridgingFault("G10", "G19", BridgeKind.OR)
+        assert bridge_excitation(functions, and_bf) == bridge_excitation(
+            functions, or_bf
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuits(max_inputs=4, max_gates=10))
+def test_detectability_never_exceeds_upper_bound(circuit):
+    """The paper's bound: δ ≤ U for every fault of both models."""
+    functions = CircuitFunctions(circuit)
+    engine = DifferencePropagation(circuit, functions=functions)
+    for fault in all_stuck_at_faults(circuit)[::3]:
+        analysis = engine.analyze(fault)
+        assert analysis.detectability <= detectability_upper_bound(
+            functions, fault
+        )
+    for kind in BridgeKind:
+        for fault in list(enumerate_nfbfs(circuit, kind))[:15]:
+            analysis = engine.analyze(fault)
+            assert analysis.detectability <= detectability_upper_bound(
+                functions, fault
+            )
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuits(max_inputs=4, max_gates=10))
+def test_stuck_at_equivalent_bridges_match_double_stuck_simulation(circuit):
+    """If the bridged function is constant, simulating both wires stuck
+    at that constant gives the identical faulty behaviour."""
+    from repro.simulation.truthtable import TruthTableSimulator
+    from repro.simulation import _engine as sim_engine
+    from repro.simulation.injection import FaultInjection
+
+    functions = CircuitFunctions(circuit)
+    simulator = TruthTableSimulator(circuit)
+    good = {net: simulator.good_word(net) for net in circuit.nets}
+    for kind in BridgeKind:
+        for fault in list(enumerate_nfbfs(circuit, kind))[:20]:
+            if not is_stuck_at_equivalent(functions, fault):
+                continue
+            site = bridge_site_function(functions, fault)
+            constant = site.is_one
+            word = simulator.mask if constant else 0
+
+            def stuck(_good, _mask, w=word):
+                return w
+
+            double = FaultInjection(
+                stem_overrides={fault.net_a: stuck, fault.net_b: stuck}
+            )
+            bridged = simulator.detection_word(fault)
+            faulty = sim_engine.faulty_pass(circuit, good, double, simulator.mask)
+            as_double = sim_engine.detection_word(circuit, good, faulty)
+            assert bridged == as_double

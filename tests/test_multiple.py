@@ -1,0 +1,133 @@
+"""Tests for the multiple stuck-at fault model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.engine import DifferencePropagation
+from repro.core.faulty_sim import SymbolicFaultSimulator
+from repro.core.metrics import detectability_upper_bound
+from repro.core.symbolic import CircuitFunctions
+from repro.faults.lines import Line
+from repro.faults.multiple import MultipleStuckAtFault, double_faults
+from repro.faults.stuck_at import StuckAtFault, all_stuck_at_faults
+from repro.simulation.truthtable import TruthTableSimulator
+from repro.simulation.injection import injection_for
+
+from tests.strategies import circuits
+
+
+class TestModel:
+    def test_components_are_sorted_and_deduplicated(self):
+        a = StuckAtFault(Line("x"), False)
+        b = StuckAtFault(Line("y"), True)
+        assert MultipleStuckAtFault.of(b, a, a) == MultipleStuckAtFault.of(a, b)
+
+    def test_needs_two_components(self):
+        a = StuckAtFault(Line("x"), False)
+        with pytest.raises(ValueError):
+            MultipleStuckAtFault.of(a)
+        with pytest.raises(ValueError):
+            MultipleStuckAtFault.of(a, a)
+
+    def test_conflicting_polarities_rejected(self):
+        with pytest.raises(ValueError):
+            MultipleStuckAtFault.of(
+                StuckAtFault(Line("x"), False), StuckAtFault(Line("x"), True)
+            )
+
+    def test_str_and_accessors(self):
+        fault = MultipleStuckAtFault.of(
+            StuckAtFault(Line("x"), False), StuckAtFault(Line("y"), True)
+        )
+        assert fault.multiplicity == 2
+        assert {line.net for line in fault.lines()} == {"x", "y"}
+        assert "&" in str(fault)
+
+    def test_double_faults_enumeration(self):
+        singles = [
+            StuckAtFault(Line("x"), False),
+            StuckAtFault(Line("x"), True),
+            StuckAtFault(Line("y"), False),
+        ]
+        pairs = double_faults(singles)
+        # (x0,y0), (x1,y0) — the x0/x1 pair conflicts on the line.
+        assert len(pairs) == 2
+
+    def test_injection_merges_components(self):
+        fault = MultipleStuckAtFault.of(
+            StuckAtFault(Line("x"), False),
+            StuckAtFault(Line("y", "g", 1), True),
+        )
+        injection = injection_for(fault)
+        assert set(injection.stem_overrides) == {"x"}
+        assert set(injection.branch_overrides) == {("g", 1)}
+
+
+class TestMasking:
+    def test_double_fault_can_mask(self):
+        """A pair whose components cancel on the only path is undetectable
+        even though each component alone is detectable."""
+        from repro.circuit.builder import CircuitBuilder
+
+        b = CircuitBuilder("mask")
+        a = b.input("a")
+        first = b.not_(a, name="first")
+        second = b.not_(first, name="second")
+        b.output(second)
+        circuit = b.build()
+        engine = DifferencePropagation(circuit)
+        sa_first = StuckAtFault(Line("first"), False)
+        sa_second = StuckAtFault(Line("second"), True)
+        assert engine.analyze(sa_first).is_detectable
+        assert engine.analyze(sa_second).is_detectable
+        both = MultipleStuckAtFault.of(sa_first, sa_second)
+        # second s-a-1 dominates the cone: the composite equals the
+        # single fault on `second`, masking `first` entirely.
+        composite = engine.analyze(both)
+        single = engine.analyze(sa_second)
+        assert composite.tests == single.tests
+
+
+class TestAgreementWithOracles:
+    @pytest.mark.parametrize("circuit_name", ["c17", "fulladder"])
+    def test_all_double_checkpoint_faults(self, circuit_name, request):
+        circuit = request.getfixturevalue(circuit_name)
+        functions = CircuitFunctions(circuit)
+        engine = DifferencePropagation(circuit, functions=functions)
+        fsim = SymbolicFaultSimulator(circuit, functions=functions)
+        simulator = TruthTableSimulator(circuit)
+        singles = all_stuck_at_faults(circuit)
+        rng = random.Random(1)
+        for _ in range(120):
+            first, second = rng.sample(singles, 2)
+            if first.line == second.line:
+                continue
+            fault = MultipleStuckAtFault.of(first, second)
+            analysis = engine.analyze(fault)
+            assert analysis.detectability == simulator.detectability(fault)
+            assert analysis.tests == fsim.analyze(fault).tests
+            assert analysis.detectability <= detectability_upper_bound(
+                functions, fault
+            )
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuits(max_inputs=4, max_gates=10))
+def test_multiple_faults_match_brute_force_on_random_circuits(circuit):
+    engine = DifferencePropagation(circuit)
+    simulator = TruthTableSimulator(circuit)
+    singles = all_stuck_at_faults(circuit)
+    rng = random.Random(7)
+    for _ in range(25):
+        k = rng.choice((2, 3))
+        chosen = rng.sample(singles, min(k, len(singles)))
+        if len({f.line for f in chosen}) != len(chosen) or len(chosen) < 2:
+            continue
+        fault = MultipleStuckAtFault(tuple(chosen))
+        assert engine.analyze(fault).detectability == simulator.detectability(
+            fault
+        )

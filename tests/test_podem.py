@@ -1,0 +1,236 @@
+"""PODEM versus the exact oracles — the conventional-ATPG baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.atpg import Podem, PodemStatus
+from repro.atpg.values import Value3, and3, eval_gate3, not3, or3, xor3
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gates import GateType
+from repro.core.engine import DifferencePropagation
+from repro.faults.lines import Line
+from repro.faults.stuck_at import StuckAtFault, all_stuck_at_faults
+from repro.simulation.truthtable import TruthTableSimulator
+
+from tests.strategies import circuits
+
+
+class TestValues3:
+    def test_not3(self):
+        assert not3(Value3.ZERO) is Value3.ONE
+        assert not3(Value3.ONE) is Value3.ZERO
+        assert not3(Value3.X) is Value3.X
+        assert ~Value3.ZERO is Value3.ONE
+
+    def test_and3(self):
+        assert and3([Value3.ZERO, Value3.X]) is Value3.ZERO
+        assert and3([Value3.ONE, Value3.ONE]) is Value3.ONE
+        assert and3([Value3.ONE, Value3.X]) is Value3.X
+
+    def test_or3(self):
+        assert or3([Value3.ONE, Value3.X]) is Value3.ONE
+        assert or3([Value3.ZERO, Value3.ZERO]) is Value3.ZERO
+        assert or3([Value3.ZERO, Value3.X]) is Value3.X
+
+    def test_xor3(self):
+        assert xor3([Value3.ONE, Value3.ZERO]) is Value3.ONE
+        assert xor3([Value3.ONE, Value3.ONE]) is Value3.ZERO
+        assert xor3([Value3.ONE, Value3.X]) is Value3.X
+
+    def test_eval_gate3_consistency_with_bool(self):
+        import itertools
+
+        from repro.circuit.gates import eval_gate
+
+        for gate_type in (
+            GateType.AND,
+            GateType.NAND,
+            GateType.OR,
+            GateType.NOR,
+            GateType.XOR,
+            GateType.XNOR,
+        ):
+            for values in itertools.product([False, True], repeat=2):
+                three = eval_gate3(
+                    gate_type, [Value3.of(v) for v in values]
+                )
+                assert three is Value3.of(eval_gate(gate_type, values))
+
+    def test_of(self):
+        assert Value3.of(True) is Value3.ONE
+        assert Value3.of(False) is Value3.ZERO
+
+
+class TestPodemOnBenchmarks:
+    @pytest.mark.parametrize("circuit_name", ["c17", "fulladder", "c95"])
+    def test_complete_and_sound(self, circuit_name, request):
+        """PODEM finds a (valid) test exactly for the detectable faults."""
+        circuit = request.getfixturevalue(circuit_name)
+        podem = Podem(circuit)
+        simulator = TruthTableSimulator(circuit)
+        for fault in all_stuck_at_faults(circuit):
+            result = podem.generate(fault)
+            assert result.status is not PodemStatus.ABORTED
+            assert result.found == simulator.is_detectable(fault)
+            if result.found:
+                vector = sum(
+                    1 << i
+                    for i, net in enumerate(circuit.inputs)
+                    if result.test[net]
+                )
+                assert (simulator.detection_word(fault) >> vector) & 1
+
+    def test_found_test_is_in_dp_complete_test_set(self, alu181):
+        engine = DifferencePropagation(alu181)
+        podem = Podem(alu181)
+        for fault in all_stuck_at_faults(alu181)[::23]:
+            result = podem.generate(fault)
+            analysis = engine.analyze(fault)
+            assert result.found == analysis.is_detectable
+            if result.found:
+                assert analysis.tests.evaluate(result.test)
+
+    def test_proves_redundancy(self):
+        b = CircuitBuilder("red")
+        a, bb = b.inputs("a", "b")
+        conj = b.and_(a, bb, name="conj")
+        b.output(b.or_(a, conj, name="y"))
+        podem = Podem(b.build())
+        result = podem.generate(StuckAtFault(Line("conj"), False))
+        assert result.status is PodemStatus.UNDETECTABLE
+        assert result.test is None
+
+    def test_branch_fault(self, c17):
+        podem = Podem(c17)
+        simulator = TruthTableSimulator(c17)
+        fault = StuckAtFault(Line("G11", "G16", 1), True)
+        result = podem.generate(fault)
+        assert result.found
+        vector = sum(
+            1 << i for i, net in enumerate(c17.inputs) if result.test[net]
+        )
+        assert (simulator.detection_word(fault) >> vector) & 1
+
+    def test_statistics_reported(self, c17):
+        podem = Podem(c17)
+        result = podem.generate(StuckAtFault(Line("G1"), True))
+        assert result.decisions >= 1
+        assert result.backtracks >= 0
+
+    def test_rejects_non_stuck_at(self, c17):
+        from repro.faults.bridging import BridgeKind, BridgingFault
+
+        podem = Podem(c17)
+        with pytest.raises(TypeError):
+            podem.generate(BridgingFault("G1", "G2", BridgeKind.AND))
+
+    def test_invalid_line_rejected(self, c17):
+        podem = Podem(c17)
+        with pytest.raises(Exception):
+            podem.generate(StuckAtFault(Line("nope"), True))
+
+    def test_backtrack_limit_aborts(self):
+        # A tiny limit on a hard-ish circuit must abort, not loop.
+        from repro.benchcircuits import get_circuit
+
+        circuit = get_circuit("alu181")
+        podem = Podem(circuit, backtrack_limit=0)
+        statuses = {
+            podem.generate(fault).status
+            for fault in all_stuck_at_faults(circuit)[:40]
+        }
+        # Everything either solves without backtracking or aborts.
+        assert PodemStatus.UNDETECTABLE not in statuses
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuits(max_inputs=4, max_gates=12))
+def test_podem_agrees_with_brute_force_on_random_circuits(circuit):
+    """Completeness + soundness on arbitrary random circuits."""
+    podem = Podem(circuit)
+    simulator = TruthTableSimulator(circuit)
+    for fault in all_stuck_at_faults(circuit)[::3]:
+        result = podem.generate(fault)
+        assert result.status is not PodemStatus.ABORTED
+        assert result.found == simulator.is_detectable(fault)
+        if result.found:
+            vector = sum(
+                1 << i
+                for i, net in enumerate(circuit.inputs)
+                if result.test[net]
+            )
+            assert (simulator.detection_word(fault) >> vector) & 1
+
+
+class TestAtpgFlow:
+    def test_full_flow_on_c95(self, c95):
+        from repro.atpg import run_atpg_flow
+        from repro.faults.stuck_at import collapsed_checkpoint_faults
+
+        faults = collapsed_checkpoint_faults(c95)
+        result = run_atpg_flow(c95, faults)
+        assert not result.aborted
+        assert not result.redundant  # the adder is irredundant
+        assert set(result.detected) == set(faults)
+        assert result.coverage == 1.0
+        # Fault-simulation dropping must save generation calls.
+        assert result.generation_calls < len(faults)
+        assert len(result.tests) == result.generation_calls
+        # Verify the test set by exhaustive simulation.
+        simulator = TruthTableSimulator(c95)
+        vectors = [
+            sum(1 << i for i, net in enumerate(c95.inputs) if t[net])
+            for t in result.tests
+        ]
+        for fault in faults:
+            word = simulator.detection_word(fault)
+            assert any((word >> v) & 1 for v in vectors)
+
+    def test_flow_reports_redundancies(self):
+        from repro.atpg import run_atpg_flow
+        from repro.faults.stuck_at import all_stuck_at_faults
+
+        b = CircuitBuilder("red")
+        a, bb = b.inputs("a", "b")
+        conj = b.and_(a, bb, name="conj")
+        b.output(b.or_(a, conj, name="y"))
+        circuit = b.build()
+        result = run_atpg_flow(circuit, all_stuck_at_faults(circuit))
+        assert result.redundant
+        assert result.coverage == 1.0
+
+    def test_flow_on_wide_circuit(self):
+        """36 inputs: the flow must work where exhaustive words cannot."""
+        from repro.atpg import run_atpg_flow
+        from repro.benchcircuits import get_circuit
+        from repro.faults.stuck_at import collapsed_checkpoint_faults
+        from repro.simulation.single import detects
+
+        circuit = get_circuit("c432")
+        faults = collapsed_checkpoint_faults(circuit)[:60]
+        result = run_atpg_flow(circuit, faults)
+        assert not result.aborted
+        assert set(result.detected) | set(result.redundant) == set(faults)
+        for fault in result.detected:
+            assert any(detects(circuit, t, fault) for t in result.tests)
+
+
+class TestRegressions:
+    def test_side_input_with_unknown_faulty_plane(self):
+        """Regression: the objective must also target side inputs whose
+        *faulty* plane is unknown (good plane already implied).
+
+        Found by the integration property suite: g0 = NOR(i1, i0),
+        g1 = NOR(g0, i0); i0 s-a-0 needs i1=1 to clear g1's side input
+        on the faulty plane, but good(g0) is already 0 under i0=1."""
+        from repro.circuit.iscas import parse_bench
+
+        circuit = parse_bench(
+            "INPUT(i0)\nINPUT(i1)\nOUTPUT(g1)\n"
+            "g0 = NOR(i1, i0)\ng1 = NOR(g0, i0)"
+        )
+        result = Podem(circuit).generate(StuckAtFault(Line("i0"), False))
+        assert result.found
+        assert result.test == {"i0": True, "i1": True}

@@ -1,0 +1,109 @@
+"""Tests for redundancy identification and classification."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.circuit.builder import CircuitBuilder
+from repro.core.engine import DifferencePropagation
+from repro.core.redundancy import (
+    RedundancyKind,
+    classify_redundancies,
+    redundancy_summary,
+)
+from repro.faults.lines import Line
+from repro.faults.stuck_at import StuckAtFault, all_stuck_at_faults
+from repro.simulation.truthtable import TruthTableSimulator
+
+from tests.strategies import circuits
+
+
+def _redundant_or_circuit():
+    """y = a | (a & b): conj s-a-0 is classically redundant."""
+    b = CircuitBuilder("red")
+    a, bb = b.inputs("a", "b")
+    conj = b.and_(a, bb, name="conj")
+    b.output(b.or_(a, conj, name="y"))
+    return b.build()
+
+
+class TestClassification:
+    def test_unobservable(self):
+        circuit = _redundant_or_circuit()
+        engine = DifferencePropagation(circuit)
+        findings = classify_redundancies(
+            engine, [StuckAtFault(Line("conj"), False)]
+        )
+        assert len(findings) == 1
+        assert findings[0].kind is RedundancyKind.UNOBSERVABLE
+        assert "unobservable" in str(findings[0])
+
+    def test_unexcitable(self):
+        b = CircuitBuilder("const")
+        a = b.input("a")
+        zero = b.and_(a, b.not_(a), name="zero")  # constant 0 net
+        b.output(b.or_(zero, a, name="y"))
+        circuit = b.build()
+        engine = DifferencePropagation(circuit)
+        findings = classify_redundancies(
+            engine, [StuckAtFault(Line("zero"), False)]
+        )
+        assert findings[0].kind is RedundancyKind.UNEXCITABLE
+
+    def test_unreachable(self):
+        b = CircuitBuilder("unreach")
+        a, bb = b.inputs("a", "b")
+        b.output(b.not_(a, name="y"))
+        b.not_(bb, name="orphan")  # feeds no output
+        circuit = b.build(validate=False)
+        engine = DifferencePropagation(circuit)
+        findings = classify_redundancies(
+            engine, [StuckAtFault(Line("orphan"), True)]
+        )
+        assert findings[0].kind is RedundancyKind.UNREACHABLE
+
+    def test_detectable_faults_not_reported(self, c17):
+        engine = DifferencePropagation(c17)
+        findings = classify_redundancies(engine, all_stuck_at_faults(c17))
+        assert findings == []  # C17 is irredundant
+
+    def test_c1908_surrogate_has_redundancies(self):
+        """The deliberately redundant compare cone must show up."""
+        from repro.benchcircuits import get_circuit
+
+        circuit = get_circuit("c1908")
+        engine = DifferencePropagation(circuit)
+        findings = classify_redundancies(
+            engine,
+            [
+                StuckAtFault(Line("anycmp"), False),
+                StuckAtFault(Line("anycmp"), True),
+            ],
+        )
+        assert findings
+        assert all(f.kind is RedundancyKind.UNOBSERVABLE for f in findings)
+
+
+class TestSummary:
+    def test_counts_all_kinds(self):
+        circuit = _redundant_or_circuit()
+        engine = DifferencePropagation(circuit)
+        findings = classify_redundancies(
+            engine, all_stuck_at_faults(circuit)
+        )
+        summary = redundancy_summary(findings)
+        assert set(summary) == set(RedundancyKind)
+        assert sum(summary.values()) == len(findings)
+        assert summary[RedundancyKind.UNOBSERVABLE] >= 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuits(max_inputs=4, max_gates=10))
+def test_classification_agrees_with_brute_force(circuit):
+    """Exactly the brute-force-undetectable faults are reported."""
+    engine = DifferencePropagation(circuit)
+    simulator = TruthTableSimulator(circuit)
+    faults = all_stuck_at_faults(circuit)
+    reported = {f.fault for f in classify_redundancies(engine, faults)}
+    expected = {f for f in faults if simulator.detection_word(f) == 0}
+    assert reported == expected

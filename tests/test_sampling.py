@@ -1,0 +1,108 @@
+"""Unit tests for distance-weighted bridging-fault sampling."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.benchcircuits import get_circuit
+from repro.faults.bridging import BridgeKind, enumerate_nfbfs
+from repro.faults.sampling import (
+    normalized_distances,
+    sample_bridging_faults,
+    solve_theta,
+)
+
+
+@pytest.fixture(scope="module")
+def c95_candidates():
+    circuit = get_circuit("c95")
+    return circuit, list(enumerate_nfbfs(circuit, BridgeKind.AND))
+
+
+class TestNormalizedDistances:
+    def test_range(self, c95_candidates):
+        circuit, candidates = c95_candidates
+        distances = normalized_distances(circuit, candidates)
+        assert len(distances) == len(candidates)
+        assert min(distances) >= 0.0
+        assert max(distances) == pytest.approx(1.0)
+
+    def test_degenerate_all_zero(self, c95_candidates):
+        circuit, candidates = c95_candidates
+        # A single candidate pair normalizes to distance 1 (itself the max).
+        single = normalized_distances(circuit, candidates[:1])
+        assert single == [1.0]
+
+
+class TestSolveTheta:
+    def test_expected_count_hits_target(self):
+        distances = [i / 999 for i in range(1000)]
+        theta = solve_theta(distances, 100)
+        expected = sum(math.exp(-z / theta) for z in distances)
+        assert expected == pytest.approx(100, abs=1.0)
+
+    def test_monotone_in_target(self):
+        distances = [i / 999 for i in range(1000)]
+        assert solve_theta(distances, 50) < solve_theta(distances, 500)
+
+    def test_rejects_impossible_targets(self):
+        with pytest.raises(ValueError):
+            solve_theta([0.1, 0.2], 5)
+        with pytest.raises(ValueError):
+            solve_theta([0.1, 0.2], 0)
+
+
+class TestSampleBridgingFaults:
+    def test_exact_size(self, c95_candidates):
+        circuit, candidates = c95_candidates
+        sample = sample_bridging_faults(circuit, candidates, 50, seed=3)
+        assert len(sample) == 50
+        assert len({s.fault for s in sample}) == 50
+
+    def test_deterministic_per_seed(self, c95_candidates):
+        circuit, candidates = c95_candidates
+        a = sample_bridging_faults(circuit, candidates, 40, seed=1)
+        b = sample_bridging_faults(circuit, candidates, 40, seed=1)
+        c = sample_bridging_faults(circuit, candidates, 40, seed=2)
+        assert [s.fault for s in a] == [s.fault for s in b]
+        assert [s.fault for s in a] != [s.fault for s in c]
+
+    def test_small_sets_returned_whole(self, c95_candidates):
+        circuit, candidates = c95_candidates
+        few = candidates[:10]
+        sample = sample_bridging_faults(circuit, few, 100, seed=0)
+        assert [s.fault for s in sample] == few
+
+    def test_bias_towards_short_wires(self, c95_candidates):
+        """Sampled faults must skew to smaller distances than the pool."""
+        circuit, candidates = c95_candidates
+        pool_mean = sum(normalized_distances(circuit, candidates)) / len(
+            candidates
+        )
+        sample = sample_bridging_faults(circuit, candidates, 80, seed=0)
+        sample_mean = sum(s.distance for s in sample) / len(sample)
+        assert sample_mean < pool_mean
+
+    def test_robust_to_tied_distances(self, c95_candidates):
+        """Exactly-tied distances must not inflate the sample size.
+
+        (Regression: a Bernoulli scheme with count-calibrated θ returns
+        every zero-distance pair — >100k faults on C1355.)
+        """
+        circuit, candidates = c95_candidates
+        # An extreme θ collapses almost every weight to an exact tie
+        # (or underflows it to zero); the sample size must still hold.
+        sample = sample_bridging_faults(circuit, candidates, 30, seed=0, theta=1e-9)
+        assert len(sample) == 30
+        sample = sample_bridging_faults(circuit, candidates, 30, seed=0, theta=1e9)
+        assert len(sample) == 30
+
+
+class TestSolveThetaDegenerate:
+    def test_all_zero_distances_returns_huge_theta(self):
+        # With every distance 0 the expected count equals the pool size
+        # for any θ; the solver must bail out instead of looping.
+        theta = solve_theta([0.0] * 100, 50)
+        assert theta > 0

@@ -1,0 +1,124 @@
+"""Tests for SCOAP testability measures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.scoap import INFINITY, compute_scoap
+from repro.circuit.builder import CircuitBuilder
+
+
+def _and_chain():
+    b = CircuitBuilder("chain")
+    a, bb, c = b.inputs("a", "b", "c")
+    g1 = b.and_(a, bb, name="g1")
+    b.output(b.and_(g1, c, name="g2"))
+    return b.build()
+
+
+class TestControllability:
+    def test_primary_inputs_cost_one(self):
+        measures = compute_scoap(_and_chain())
+        for net in ("a", "b", "c"):
+            assert measures.cc0[net] == 1
+            assert measures.cc1[net] == 1
+
+    def test_and_gate(self):
+        measures = compute_scoap(_and_chain())
+        # g1 = a & b: CC0 = min(1,1)+1 = 2, CC1 = 1+1+1 = 3.
+        assert measures.cc0["g1"] == 2
+        assert measures.cc1["g1"] == 3
+        # g2 = g1 & c: CC1 = CC1(g1) + CC1(c) + 1 = 5.
+        assert measures.cc1["g2"] == 5
+
+    def test_inverter_swaps(self):
+        b = CircuitBuilder("inv")
+        a = b.input("a")
+        g1 = b.and_(a, a, name="g1")  # CC0=2, CC1=3
+        b.output(b.not_(g1, name="g2"))
+        measures = compute_scoap(b.build())
+        assert measures.cc0["g2"] == measures.cc1["g1"] + 1
+        assert measures.cc1["g2"] == measures.cc0["g1"] + 1
+
+    def test_or_gate(self):
+        b = CircuitBuilder("or2")
+        a, bb = b.inputs("a", "b")
+        b.output(b.or_(a, bb, name="y"))
+        measures = compute_scoap(b.build())
+        assert measures.cc1["y"] == 2  # one controlling 1
+        assert measures.cc0["y"] == 3  # both 0
+
+    def test_xor_gate(self):
+        b = CircuitBuilder("xor2")
+        a, bb = b.inputs("a", "b")
+        b.output(b.xor(a, bb, name="y"))
+        measures = compute_scoap(b.build())
+        assert measures.cc0["y"] == 3  # 00 or 11: cost 2 (+1)
+        assert measures.cc1["y"] == 3
+
+    def test_constants(self):
+        b = CircuitBuilder("const")
+        a = b.input("a")
+        one = b.const1(name="one")
+        b.output(b.and_(a, one, name="y"))
+        measures = compute_scoap(b.build())
+        assert measures.cc1["one"] == 1
+        assert measures.cc0["one"] >= INFINITY
+
+
+class TestObservability:
+    def test_po_is_free(self):
+        measures = compute_scoap(_and_chain())
+        assert measures.co["g2"] == 0
+
+    def test_side_input_cost_through_and(self):
+        measures = compute_scoap(_and_chain())
+        # observing g1 through g2 needs c=1 (cost 1) plus depth 1.
+        assert measures.co["g1"] == 2
+        # observing a needs b=1 (1) + level + then g1's observability.
+        assert measures.co["a"] == measures.co["g1"] + measures.cc1["b"] + 1
+
+    def test_unobservable_net(self):
+        b = CircuitBuilder("dead")
+        a, bb = b.inputs("a", "b")
+        b.output(b.not_(a, name="y"))
+        b.not_(bb, name="orphan")
+        measures = compute_scoap(b.build(validate=False))
+        assert measures.co["orphan"] >= INFINITY
+
+    def test_cheapest_fanout_wins(self, tiny_circuit):
+        measures = compute_scoap(tiny_circuit)
+        # conj feeds both POs through one gate each; cost is the min.
+        assert measures.co["conj"] < INFINITY
+
+
+class TestFaultDifficulty:
+    def test_uses_opposite_controllability(self):
+        measures = compute_scoap(_and_chain())
+        assert measures.fault_difficulty("g1", False) == (
+            measures.cc1["g1"] + measures.co["g1"]
+        )
+        assert measures.fault_difficulty("g1", True) == (
+            measures.cc0["g1"] + measures.co["g1"]
+        )
+
+    def test_monotone_with_depth(self):
+        """Deeper AND-chain nets are harder to test stuck-at-0."""
+        b = CircuitBuilder("deep")
+        nets = b.inputs(*[f"i{k}" for k in range(5)])
+        acc = nets[0]
+        names = []
+        for k, net in enumerate(nets[1:], start=1):
+            acc = b.and_(acc, net, name=f"g{k}")
+            names.append(acc)
+        b.output(acc)
+        measures = compute_scoap(b.build())
+        costs = [measures.fault_difficulty(n, False) for n in names]
+        assert costs == sorted(costs)
+
+    def test_benchmarks_have_finite_measures(self, alu181):
+        measures = compute_scoap(alu181)
+        for net in alu181.nets:
+            assert measures.cc0[net] < INFINITY
+            assert measures.cc1[net] < INFINITY
+            assert measures.co[net] < INFINITY

@@ -1,0 +1,146 @@
+"""Tests for syndrome-testability analysis and equivalence checking."""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.syndrome_testing import (
+    syndrome_shift,
+    syndrome_untestable_faults,
+)
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.equivalence import circuits_equivalent
+from repro.circuit.netlist import CircuitError
+from repro.core.engine import DifferencePropagation
+from repro.core.symbolic import CircuitFunctions
+from repro.faults.lines import Line
+from repro.faults.stuck_at import StuckAtFault, all_stuck_at_faults
+from repro.simulation.truthtable import TruthTableSimulator
+
+from tests.strategies import circuits
+
+
+class TestSyndromeShift:
+    def test_shift_matches_truth_table(self, c17):
+        functions = CircuitFunctions(c17)
+        engine = DifferencePropagation(c17, functions=functions)
+        simulator = TruthTableSimulator(c17)
+        good = {po: simulator.syndrome(po) for po in c17.outputs}
+        for fault in all_stuck_at_faults(c17)[::5]:
+            analysis = engine.analyze(fault)
+            shift = syndrome_shift(functions, analysis)
+            # brute-force faulty syndromes
+            from repro.simulation import _engine as sim_engine
+            from repro.simulation.injection import injection_for
+
+            faulty = sim_engine.faulty_pass(
+                c17,
+                {n: simulator.good_word(n) for n in c17.nets},
+                injection_for(fault),
+                simulator.mask,
+            )
+            for po, value in shift.shifts.items():
+                faulty_syndrome = Fraction(
+                    bin(faulty[po]).count("1"), simulator.num_vectors
+                )
+                assert value == faulty_syndrome - good[po]
+
+    def test_xor_masking_fault_is_syndrome_invisible(self):
+        """A fault flipping an output everywhere keeps |ones| iff the
+        syndrome is exactly 1/2 — the classic syndrome-testing blind
+        spot, built deliberately."""
+        b = CircuitBuilder("blind")
+        a, bb = b.inputs("a", "b")
+        x = b.xor(a, bb, name="x")
+        b.output(b.xor(x, a, name="y"))  # y == b
+        circuit = b.build()
+        functions = CircuitFunctions(circuit)
+        engine = DifferencePropagation(circuit, functions=functions)
+        # Stuck the inner xor's output: y becomes a⊕stuck ≠ b somewhere,
+        # detectable, but the ones-count can stay put.
+        analysis = engine.analyze(StuckAtFault(Line("x"), False))
+        assert analysis.is_detectable
+        shift = syndrome_shift(functions, analysis)
+        assert not shift.syndrome_detectable
+
+    def test_untestable_list(self, c17):
+        functions = CircuitFunctions(c17)
+        engine = DifferencePropagation(c17, functions=functions)
+        analyses = [engine.analyze(f) for f in all_stuck_at_faults(c17)]
+        invisible = syndrome_untestable_faults(functions, analyses)
+        # every reported fault is detectable but shift-free everywhere
+        for fault in invisible:
+            analysis = engine.analyze(fault)
+            assert analysis.is_detectable
+            assert not syndrome_shift(functions, analysis).syndrome_detectable
+
+
+class TestEquivalence:
+    def test_positive(self, c17):
+        report = circuits_equivalent(c17, c17.copy("twin"))
+        assert report.equivalent
+        assert report.counterexample is None
+
+    def test_negative_with_counterexample(self):
+        b1 = CircuitBuilder("one")
+        a, bb = b1.inputs("a", "b")
+        b1.output(b1.nand(a, bb, name="y"))
+        b2 = CircuitBuilder("two")
+        a, bb = b2.inputs("a", "b")
+        b2.output(b2.nor(a, bb, name="y"))
+        first, second = b1.build(), b2.build()
+        report = circuits_equivalent(first, second)
+        assert not report.equivalent
+        assert report.counterexample_output == "y"
+        witness = report.counterexample
+        assert first.evaluate_outputs(witness) != second.evaluate_outputs(witness)
+
+    def test_interface_mismatch_rejected(self, c17, c95):
+        with pytest.raises(CircuitError):
+            circuits_equivalent(c17, c95)
+
+    def test_c499_c1355(self):
+        from repro.benchcircuits import get_circuit
+
+        report = circuits_equivalent(get_circuit("c499"), get_circuit("c1355"))
+        assert report.equivalent
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuits(max_inputs=4, max_gates=10))
+def test_equivalence_reflexive_and_transform_invariant(circuit):
+    from repro.circuit.transforms import decompose_to_two_input
+
+    report = circuits_equivalent(circuit, decompose_to_two_input(circuit))
+    assert report.equivalent
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuits(max_inputs=4, max_gates=10))
+def test_counterexamples_really_distinguish(circuit):
+    """Mutate one gate; a non-equivalent result must carry a real witness."""
+    from repro.circuit.gates import GateType
+    from repro.circuit.netlist import Circuit
+
+    mutated = Circuit(circuit.name)
+    flipped = None
+    for net in circuit.inputs:
+        mutated.add_input(net)
+    for gate in circuit.gates():
+        gate_type = gate.gate_type
+        if flipped is None and gate_type is GateType.AND:
+            gate_type = GateType.NAND
+            flipped = gate.name
+        mutated.add_gate(gate.name, gate_type, gate.fanins)
+    for net in circuit.outputs:
+        mutated.add_output(net)
+    report = circuits_equivalent(circuit, mutated)
+    if not report.equivalent:
+        witness = report.counterexample
+        assert circuit.evaluate_outputs(witness) != mutated.evaluate_outputs(
+            witness
+        )

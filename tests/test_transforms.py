@@ -1,0 +1,104 @@
+"""Unit + property tests for netlist transforms."""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gates import GateType
+from repro.circuit.transforms import decompose_to_two_input, expand_xor_to_nand
+
+from tests.strategies import circuits
+
+
+def _equivalent(a, b) -> bool:
+    assert a.inputs == b.inputs
+    assert a.outputs == b.outputs
+    for values in itertools.product([False, True], repeat=a.num_inputs):
+        assignment = dict(zip(a.inputs, values))
+        if a.evaluate_outputs(assignment) != b.evaluate_outputs(assignment):
+            return False
+    return True
+
+
+class TestDecompose:
+    def test_wide_gates_become_chains(self):
+        b = CircuitBuilder("wide")
+        nets = b.inputs("a", "b", "c", "d")
+        b.output(b.nand(*nets, name="y"))
+        wide = b.build()
+        narrow = decompose_to_two_input(wide)
+        assert all(len(g.fanins) <= 2 for g in narrow.gates())
+        assert narrow.gate("y").gate_type is GateType.NAND
+        assert _equivalent(wide, narrow)
+
+    def test_two_input_circuit_unchanged(self, c17):
+        narrow = decompose_to_two_input(c17)
+        assert narrow.num_gates == c17.num_gates
+
+    def test_names_preserved(self):
+        b = CircuitBuilder("wide")
+        nets = b.inputs("a", "b", "c")
+        b.output(b.xnor(*nets, name="y"))
+        narrow = decompose_to_two_input(b.build())
+        assert "y" in narrow
+        assert narrow.is_output("y")
+
+
+class TestExpandXor:
+    def test_xor_becomes_four_nands(self):
+        b = CircuitBuilder("one_xor")
+        a, bb = b.inputs("a", "b")
+        b.output(b.xor(a, bb, name="y"))
+        expanded = expand_xor_to_nand(b.build())
+        assert expanded.num_gates == 4
+        assert all(
+            g.gate_type is GateType.NAND for g in expanded.gates()
+        )
+        assert _equivalent(_rebuild_one_xor(), expanded)
+
+    def test_xnor_becomes_five_gates(self):
+        b = CircuitBuilder("one_xnor")
+        a, bb = b.inputs("a", "b")
+        b.output(b.xnor(a, bb, name="y"))
+        expanded = expand_xor_to_nand(b.build())
+        types = sorted(g.gate_type.value for g in expanded.gates())
+        assert types.count("NAND") == 4
+        assert types.count("NOT") == 1
+
+    def test_c499_to_c1355_relationship(self):
+        from repro.benchcircuits import build_c499, build_c1355
+
+        c499 = build_c499()
+        c1355 = build_c1355()
+        assert c1355.num_gates > c499.num_gates
+        assert not any(
+            g.gate_type in (GateType.XOR, GateType.XNOR) for g in c1355.gates()
+        )
+        assert c1355.inputs == c499.inputs
+        assert c1355.outputs == c499.outputs
+
+
+def _rebuild_one_xor():
+    b = CircuitBuilder("one_xor")
+    a, bb = b.inputs("a", "b")
+    b.output(b.xor(a, bb, name="y"))
+    return b.build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(circuits(max_inputs=4, max_gates=12))
+def test_decompose_preserves_function(circuit):
+    assert _equivalent(circuit, decompose_to_two_input(circuit))
+
+
+@settings(max_examples=40, deadline=None)
+@given(circuits(max_inputs=4, max_gates=12))
+def test_expand_preserves_function(circuit):
+    expanded = expand_xor_to_nand(circuit)
+    assert not any(
+        g.gate_type in (GateType.XOR, GateType.XNOR) for g in expanded.gates()
+    )
+    assert _equivalent(circuit, expanded)
