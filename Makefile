@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-all bench experiments experiments-paper examples clean
+.PHONY: install test test-all test-parallel bench bench-parallel experiments experiments-paper examples clean
 
 install:
 	pip install -e .
@@ -9,10 +9,16 @@ test:
 	$(PYTHON) -m pytest tests/ -m "not slow"
 
 test-all:
-	$(PYTHON) -m pytest tests/
+	$(PYTHON) -m pytest tests/ -m ""
+
+test-parallel:
+	$(PYTHON) -m pytest tests/test_parallel_campaigns.py tests/test_differential_engines.py -v
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-parallel:
+	$(PYTHON) -m pytest benchmarks/test_bench_parallel.py --benchmark-only
 
 experiments:
 	$(PYTHON) -m repro.experiments --out results/

@@ -52,6 +52,9 @@ class DifferencePropagation:
             circuit, order=order, decompose_threshold=decompose_threshold
         )
         self.rebuild_node_limit = rebuild_node_limit
+        #: largest node store seen across every manager this engine has
+        #: driven (rebuilds reset the store, never this high-water mark)
+        self.peak_nodes = self.functions.manager.num_nodes
 
     # ------------------------------------------------------------------
     def analyze(self, fault: Fault) -> FaultAnalysis:
@@ -91,6 +94,8 @@ class DifferencePropagation:
             if delta != FALSE:
                 po_deltas[po] = Function(m, delta)
                 tests_node = m.apply_or(tests_node, delta)
+        if m.num_nodes > self.peak_nodes:
+            self.peak_nodes = m.num_nodes
         return FaultAnalysis(
             fault=fault, tests=Function(m, tests_node), po_deltas=po_deltas
         )

@@ -31,6 +31,20 @@ command line::
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.config import Scale, get_scale, SCALES
+from repro.experiments.campaigns import (
+    CampaignResult,
+    ChunkStat,
+    FaultResult,
+    bridging_campaign,
+    clear_campaign_caches,
+    stuck_at_campaign,
+)
+from repro.experiments.parallel import (
+    CampaignSpec,
+    merge_chunk_results,
+    run_campaign,
+    shutdown_pool,
+)
 from repro.experiments.table1 import run_table1
 from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig2 import run_fig2
@@ -69,4 +83,14 @@ __all__ = [
     "get_scale",
     "SCALES",
     "ALL_EXPERIMENTS",
+    "CampaignResult",
+    "CampaignSpec",
+    "ChunkStat",
+    "FaultResult",
+    "bridging_campaign",
+    "clear_campaign_caches",
+    "merge_chunk_results",
+    "run_campaign",
+    "shutdown_pool",
+    "stuck_at_campaign",
 ] + [f"run_{name}" for name in ALL_EXPERIMENTS]

@@ -5,12 +5,19 @@ A campaign reduces each :class:`~repro.core.metrics.FaultAnalysis` to a
 compact :class:`FaultResult` (plain fractions and names, no live OBDD
 handles) so results can be cached across the experiment suite without
 pinning BDD managers in memory.
+
+Campaigns run serially in-process by default; pass ``workers`` (or set
+``Scale.workers`` / ``$REPRO_WORKERS``) to shard the fault list over a
+process pool — see :mod:`repro.experiments.parallel`. Both paths
+produce bit-identical :class:`CampaignResult`\\ s.
 """
 
 from __future__ import annotations
 
+import os
 import random
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Sequence
 
@@ -51,12 +58,32 @@ class FaultResult:
 
 
 @dataclass(frozen=True)
+class ChunkStat:
+    """Execution telemetry for one shard of a campaign.
+
+    Serial campaigns report a single chunk; parallel campaigns report
+    one per shard, in original fault order. Stats never participate in
+    result equality — two runs of the same campaign compare equal on
+    ``results`` regardless of how they were scheduled.
+    """
+
+    index: int
+    num_faults: int
+    seconds: float
+    peak_nodes: int
+    worker_pid: int
+
+
+@dataclass(frozen=True)
 class CampaignResult:
     """All fault results for one circuit / fault model / scale."""
 
     circuit: Circuit
     results: tuple[FaultResult, ...]
     exact: bool  # False when cut-point decomposition was active
+    #: per-chunk timing / peak-node telemetry (compare=False: scheduling
+    #: details must never make two otherwise-equal campaigns differ)
+    chunk_stats: tuple[ChunkStat, ...] = field(default=(), compare=False)
 
     def detectabilities(self) -> list[Fraction]:
         return [r.detectability for r in self.results]
@@ -64,6 +91,19 @@ class CampaignResult:
     def detectable(self) -> list[FaultResult]:
         return [r for r in self.results if r.is_detectable]
 
+    def total_seconds(self) -> float:
+        """Summed per-chunk wall-clock (CPU-seconds of fault analysis)."""
+        return sum(stat.seconds for stat in self.chunk_stats)
+
+    def peak_nodes(self) -> int:
+        """Largest OBDD node store any chunk's engine reached."""
+        return max((stat.peak_nodes for stat in self.chunk_stats), default=0)
+
+
+#: Engine node budget for campaigns — tighter than the engine default
+#: because experiment processes hold several circuits at once (and
+#: every pool worker holds its own copy).
+CAMPAIGN_REBUILD_LIMIT = 2_500_000
 
 _functions_cache: dict[tuple[str, int | None], CircuitFunctions] = {}
 _stuck_cache: dict[tuple[str, str], CampaignResult] = {}
@@ -85,14 +125,29 @@ def circuit_functions(name: str, scale: Scale) -> CircuitFunctions:
 
 
 def clear_campaign_caches() -> None:
-    """Drop every cached campaign and shared function table."""
+    """Drop every cached campaign, function table, and worker state.
+
+    This also shuts down the parallel executor's process pool (each
+    worker holds its own function/manager caches), so the next campaign
+    — serial or parallel — starts from freshly built OBDD managers.
+    """
+    from repro.experiments import parallel
+
     _functions_cache.clear()
     _stuck_cache.clear()
     _bridge_cache.clear()
+    parallel.shutdown_pool()
 
 
-def stuck_at_campaign(name: str, scale: Scale) -> CampaignResult:
-    """Collapsed checkpoint faults of circuit ``name`` under ``scale``."""
+def stuck_at_campaign(
+    name: str, scale: Scale, workers: int | None = None
+) -> CampaignResult:
+    """Collapsed checkpoint faults of circuit ``name`` under ``scale``.
+
+    ``workers`` overrides the scale's worker policy for this call; the
+    cache is shared between serial and parallel runs because their
+    results are identical.
+    """
     key = (name, scale.name)
     if key in _stuck_cache:
         return _stuck_cache[key]
@@ -102,12 +157,14 @@ def stuck_at_campaign(name: str, scale: Scale) -> CampaignResult:
     if limit is not None and limit < len(faults):
         rng = random.Random(scale.seed)
         faults = sorted(rng.sample(list(faults), limit))
-    result = _run(circuit, name, scale, faults, bridging=False)
+    result = _dispatch(circuit, name, scale, faults, False, workers)
     _stuck_cache[key] = result
     return result
 
 
-def bridging_campaign(name: str, kind: BridgeKind, scale: Scale) -> CampaignResult:
+def bridging_campaign(
+    name: str, kind: BridgeKind, scale: Scale, workers: int | None = None
+) -> CampaignResult:
     """Potentially detectable NFBFs of one dominance under ``scale``.
 
     Large circuits use the paper's distance-weighted exponential
@@ -126,24 +183,42 @@ def bridging_campaign(name: str, kind: BridgeKind, scale: Scale) -> CampaignResu
         faults: Sequence[Fault] = [s.fault for s in sampled]
     else:
         faults = candidates
-    result = _run(circuit, name, scale, faults, bridging=True)
+    result = _dispatch(circuit, name, scale, faults, True, workers)
     _bridge_cache[key] = result
     return result
 
 
-def _run(
+def _dispatch(
     circuit: Circuit,
     name: str,
     scale: Scale,
     faults: Sequence[Fault],
     bridging: bool,
+    workers: int | None,
 ) -> CampaignResult:
-    functions = circuit_functions(name, scale)
-    # A tighter node budget than the engine default keeps campaign
-    # peaks modest — experiment processes hold several circuits at once.
-    engine = DifferencePropagation(
-        circuit, functions=functions, rebuild_node_limit=2_500_000
-    )
+    """Route one campaign to the serial or the parallel executor."""
+    from repro.experiments import parallel
+
+    requested = workers if workers is not None else scale.effective_workers()
+    n_workers = parallel.effective_workers(requested, circuit, len(faults))
+    if n_workers > 1:
+        return parallel.run_campaign(
+            circuit, name, scale, faults, bridging=bridging, n_workers=n_workers
+        )
+    return _run(circuit, name, scale, faults, bridging)
+
+
+def analyze_faults(
+    engine: DifferencePropagation,
+    faults: Sequence[Fault],
+    bridging: bool,
+) -> tuple[FaultResult, ...]:
+    """Reduce each fault's analysis to a scalar :class:`FaultResult`.
+
+    The single per-fault loop behind both the serial and the parallel
+    path — equivalence of the two executors is by construction here and
+    proven again by ``tests/test_parallel_campaigns.py``.
+    """
     records: list[FaultResult] = []
     for fault in faults:
         functions = engine.functions  # engine may have rebuilt it
@@ -160,17 +235,52 @@ def _run(
                 stuck_at_equivalent=stuck_eq,
             )
         )
-    # Memory hygiene: long campaigns can grow (and rebuild) the OBDD
-    # manager; keep the engine's *current* functions in the shared
-    # cache — never a pre-rebuild giant — and drop the computed table,
-    # which dwarfs the node store and is cheap to regrow.
+    return tuple(records)
+
+
+def store_engine_functions(
+    name: str, scale: Scale, engine: DifferencePropagation
+) -> CircuitFunctions:
+    """Return the engine's current functions to the shared cache.
+
+    Memory hygiene: long campaigns can grow (and rebuild) the OBDD
+    manager; keep the engine's *current* functions in the cache — never
+    a pre-rebuild giant — and drop the computed table, which dwarfs the
+    node store and is cheap to regrow. Pool workers run this too, so a
+    long-lived worker reuses one compact function table across chunks.
+    """
     functions = engine.functions
     functions.manager.clear_caches()
     _functions_cache[
         (name, scale.decompose_threshold(name), scale.ordering(name))
     ] = functions
+    return functions
+
+
+def _run(
+    circuit: Circuit,
+    name: str,
+    scale: Scale,
+    faults: Sequence[Fault],
+    bridging: bool,
+) -> CampaignResult:
+    start = time.perf_counter()
+    functions = circuit_functions(name, scale)
+    engine = DifferencePropagation(
+        circuit, functions=functions, rebuild_node_limit=CAMPAIGN_REBUILD_LIMIT
+    )
+    records = analyze_faults(engine, faults, bridging)
+    functions = store_engine_functions(name, scale, engine)
+    stat = ChunkStat(
+        index=0,
+        num_faults=len(faults),
+        seconds=time.perf_counter() - start,
+        peak_nodes=engine.peak_nodes,
+        worker_pid=os.getpid(),
+    )
     return CampaignResult(
         circuit=circuit,
         results=tuple(records),
         exact=functions.is_exact,
+        chunk_stats=(stat,),
     )

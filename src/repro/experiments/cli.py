@@ -5,12 +5,14 @@ Examples::
     repro-experiments                      # all experiments, ci scale
     repro-experiments fig2 fig5            # a subset
     repro-experiments --scale paper --out results/
+    repro-experiments --workers 4 fig2     # parallel fault campaigns
     python -m repro.experiments fig3       # module form
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from pathlib import Path
@@ -35,6 +37,14 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(SCALES),
         default=None,
         help="fault-set sizing profile (default: $REPRO_SCALE or 'ci')",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for fault campaigns (default: "
+        "$REPRO_WORKERS or serial; tiny circuits stay serial regardless)",
     )
     parser.add_argument(
         "--out",
@@ -64,10 +74,15 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
     scale = get_scale(args.scale)
+    if args.workers is not None:
+        scale = dataclasses.replace(scale, workers=args.workers)
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
-    print(f"scale: {scale.name}  circuits: {', '.join(scale.circuits)}")
+    print(
+        f"scale: {scale.name}  circuits: {', '.join(scale.circuits)}"
+        + (f"  workers: {args.workers}" if args.workers else "")
+    )
     failures = 0
     report: list[str] = [
         "# Experiment run report",
@@ -105,6 +120,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.markdown is not None:
         args.markdown.parent.mkdir(parents=True, exist_ok=True)
         args.markdown.write_text("\n".join(report) + "\n")
+
+    from repro.experiments.parallel import shutdown_pool
+
+    shutdown_pool()  # reap campaign workers before exiting
     return 1 if failures else 0
 
 

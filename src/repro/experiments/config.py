@@ -53,6 +53,11 @@ class Scale:
     #: faster on the deep SEC/DED circuit). Ordering never changes any
     #: computed quantity, only runtime.
     orderings: Mapping[str, str] = field(default_factory=dict)
+    #: worker processes for campaign execution; ``None`` defers to the
+    #: ``$REPRO_WORKERS`` environment variable, then serial. Campaigns
+    #: on tiny circuits fall back to serial regardless — results are
+    #: bit-identical either way (see ``repro.experiments.parallel``).
+    workers: int | None = None
 
     def stuck_at_limit(self, circuit: str) -> int | None:
         return self.stuck_at_samples.get(circuit)
@@ -65,6 +70,21 @@ class Scale:
 
     def ordering(self, circuit: str) -> str:
         return self.orderings.get(circuit, "declared")
+
+    def effective_workers(self) -> int:
+        """Requested worker count: explicit field, else ``$REPRO_WORKERS``."""
+        if self.workers is not None:
+            return max(1, self.workers)
+        return env_workers()
+
+
+def env_workers() -> int:
+    """Worker count from ``$REPRO_WORKERS`` (unset/invalid → 1, serial)."""
+    raw = os.environ.get("REPRO_WORKERS", "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
 
 
 SCALES: dict[str, Scale] = {

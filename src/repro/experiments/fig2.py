@@ -17,11 +17,13 @@ from repro.experiments.campaigns import stuck_at_campaign
 from repro.experiments.config import Scale, get_scale
 
 
-def run_fig2(scale: Scale | None = None) -> ExperimentResult:
+def run_fig2(
+    scale: Scale | None = None, workers: int | None = None
+) -> ExperimentResult:
     scale = scale or get_scale()
     campaigns = []
     for name in scale.circuits:
-        campaign = stuck_at_campaign(name, scale)
+        campaign = stuck_at_campaign(name, scale, workers=workers)
         campaigns.append((campaign.circuit, campaign.detectabilities()))
     points = detectability_trend(campaigns)
     rows = [

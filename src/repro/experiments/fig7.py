@@ -16,17 +16,23 @@ from repro.experiments.config import Scale, get_scale
 from repro.faults.bridging import BridgeKind
 
 
-def run_fig7(scale: Scale | None = None) -> ExperimentResult:
+def run_fig7(
+    scale: Scale | None = None, workers: int | None = None
+) -> ExperimentResult:
     scale = scale or get_scale()
     campaigns = []
     stuck_means = {}
     for name in scale.circuits:
         pooled = []
         for kind in (BridgeKind.AND, BridgeKind.OR):
-            pooled.extend(bridging_campaign(name, kind, scale).detectabilities())
+            pooled.extend(
+                bridging_campaign(
+                    name, kind, scale, workers=workers
+                ).detectabilities()
+            )
         circuit = bridging_campaign(name, BridgeKind.AND, scale).circuit
         campaigns.append((circuit, pooled))
-        stuck = stuck_at_campaign(name, scale)
+        stuck = stuck_at_campaign(name, scale, workers=workers)
         detectable = [float(d) for d in stuck.detectabilities() if d > 0]
         stuck_means[name] = (
             sum(detectable) / len(detectable) if detectable else 0.0

@@ -1,0 +1,258 @@
+"""Parallel fault-campaign execution.
+
+A fault campaign is embarrassingly parallel across faults: every
+:class:`~repro.experiments.campaigns.FaultResult` depends only on the
+circuit's good functions and one fault descriptor. This module shards a
+fault list into chunks and fans the chunks out over a
+:class:`concurrent.futures.ProcessPoolExecutor`:
+
+* **Nothing live crosses a process boundary.** A chunk travels as a
+  :class:`CampaignSpec` — circuit *name*, :class:`Scale`, fault-model
+  flag, and plain fault descriptors (frozen dataclasses of strings and
+  bools). Each worker builds its own ``CircuitFunctions``/OBDD manager
+  from the spec and caches it for later chunks; results come back as
+  scalar ``FaultResult``\\ s (Fractions and names). OBDD node handles
+  are only ever meaningful inside the manager that minted them, so no
+  handle is ever pickled.
+* **Determinism.** Chunks are indexed at shard time and merged back in
+  index order, so the merged result is *exactly* equal — order and
+  values — to the serial run over the same fault list, regardless of
+  worker scheduling. OBDD evaluation itself is deterministic and the
+  records are exact rationals, so there is no floating-point drift to
+  tolerate. ``tests/test_parallel_campaigns.py`` asserts this.
+* **Serial fallback.** Process startup and spec pickling dominate on
+  tiny circuits (C17, the full adder analyze in microseconds per
+  fault); :func:`effective_workers` drops to serial below a netlist /
+  fault-count floor so callers can request workers unconditionally.
+
+The pool is module-global and lazily created, so consecutive campaigns
+reuse warm workers (and their per-process function caches).
+:func:`~repro.experiments.campaigns.clear_campaign_caches` shuts it
+down, guaranteeing the next campaign sees freshly built managers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.benchcircuits import get_circuit
+from repro.circuit.netlist import Circuit
+from repro.core.engine import DifferencePropagation
+from repro.core.metrics import Fault
+from repro.experiments import campaigns
+from repro.experiments.campaigns import (
+    CampaignResult,
+    ChunkStat,
+    FaultResult,
+)
+from repro.experiments.config import Scale
+
+#: Below this many faults the campaign always runs serially.
+MIN_PARALLEL_FAULTS = 32
+
+#: Circuits smaller than this netlist size always run serially — their
+#: per-fault analysis is microseconds, far below process overheads.
+MIN_PARALLEL_NETLIST = 32
+
+#: Target shards per worker; >1 smooths load imbalance between chunks
+#: (faults near the outputs analyze much faster than deep ones).
+CHUNKS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One picklable shard of a campaign: everything a worker needs.
+
+    Carries only names and plain fault descriptors — a worker rebuilds
+    (or cache-hits) the circuit and its good functions locally.
+    """
+
+    circuit: str
+    scale: Scale
+    bridging: bool
+    faults: tuple[Fault, ...]
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """A worker's answer for one :class:`CampaignSpec`."""
+
+    index: int
+    results: tuple[FaultResult, ...]
+    exact: bool
+    stat: ChunkStat
+
+
+# ----------------------------------------------------------------------
+# Policy
+# ----------------------------------------------------------------------
+def effective_workers(
+    requested: int | None, circuit: Circuit, num_faults: int
+) -> int:
+    """Workers to actually use: the request, bounded by the fallbacks."""
+    if requested is None or requested <= 1:
+        return 1
+    if num_faults < MIN_PARALLEL_FAULTS:
+        return 1
+    if circuit.netlist_size < MIN_PARALLEL_NETLIST:
+        return 1
+    return min(requested, num_faults)
+
+
+def default_chunk_size(num_faults: int, n_workers: int) -> int:
+    """Shard into ~``CHUNKS_PER_WORKER`` chunks per worker."""
+    return max(1, -(-num_faults // (n_workers * CHUNKS_PER_WORKER)))
+
+
+def shard_faults(
+    faults: Sequence[Fault], chunk_size: int
+) -> list[tuple[Fault, ...]]:
+    """Split ``faults`` into contiguous chunks of ``chunk_size``."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    return [
+        tuple(faults[i : i + chunk_size])
+        for i in range(0, len(faults), chunk_size)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def run_chunk(spec: CampaignSpec) -> ChunkResult:
+    """Analyze one shard (executes inside a pool worker, or inline).
+
+    Reuses :func:`campaigns.circuit_functions` so a worker that sees
+    several chunks of the same circuit builds its functions once; the
+    post-chunk :func:`campaigns.store_engine_functions` keeps the
+    worker-local cache compact exactly like the serial path.
+    """
+    start = time.perf_counter()
+    circuit = get_circuit(spec.circuit)
+    functions = campaigns.circuit_functions(spec.circuit, spec.scale)
+    engine = DifferencePropagation(
+        circuit,
+        functions=functions,
+        rebuild_node_limit=campaigns.CAMPAIGN_REBUILD_LIMIT,
+    )
+    records = campaigns.analyze_faults(engine, spec.faults, spec.bridging)
+    functions = campaigns.store_engine_functions(
+        spec.circuit, spec.scale, engine
+    )
+    stat = ChunkStat(
+        index=spec.index,
+        num_faults=len(spec.faults),
+        seconds=time.perf_counter() - start,
+        peak_nodes=engine.peak_nodes,
+        worker_pid=os.getpid(),
+    )
+    return ChunkResult(
+        index=spec.index,
+        results=records,
+        exact=functions.is_exact,
+        stat=stat,
+    )
+
+
+# ----------------------------------------------------------------------
+# Pool lifecycle
+# ----------------------------------------------------------------------
+_pool: ProcessPoolExecutor | None = None
+_pool_size: int = 0
+
+
+def _executor(n_workers: int) -> ProcessPoolExecutor:
+    """The shared pool, (re)created when the requested size changes."""
+    global _pool, _pool_size
+    if _pool is None or _pool_size != n_workers:
+        shutdown_pool()
+        _pool = ProcessPoolExecutor(max_workers=n_workers)
+        _pool_size = n_workers
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Terminate the worker pool (and every worker-side cache with it)."""
+    global _pool, _pool_size
+    if _pool is not None:
+        _pool.shutdown(wait=True, cancel_futures=True)
+    _pool = None
+    _pool_size = 0
+
+
+def pool_pids() -> frozenset[int]:
+    """PIDs of the current pool's live workers (empty when no pool)."""
+    if _pool is None:
+        return frozenset()
+    return frozenset(_pool._processes)
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+def run_campaign(
+    circuit: Circuit,
+    name: str,
+    scale: Scale,
+    faults: Sequence[Fault],
+    bridging: bool,
+    n_workers: int,
+    chunk_size: int | None = None,
+) -> CampaignResult:
+    """Fan a fault list over the pool and merge the chunks in order."""
+    if n_workers <= 1:
+        chunks = shard_faults(faults, chunk_size or max(1, len(faults)))
+        specs = _specs(name, scale, bridging, chunks)
+        return merge_chunk_results(circuit, [run_chunk(s) for s in specs])
+    if chunk_size is None:
+        chunk_size = default_chunk_size(len(faults), n_workers)
+    chunks = shard_faults(faults, chunk_size)
+    specs = _specs(name, scale, bridging, chunks)
+    pool = _executor(n_workers)
+    futures: list[Future[ChunkResult]] = [
+        pool.submit(run_chunk, spec) for spec in specs
+    ]
+    return merge_chunk_results(circuit, [f.result() for f in futures])
+
+
+def _specs(
+    name: str,
+    scale: Scale,
+    bridging: bool,
+    chunks: Sequence[tuple[Fault, ...]],
+) -> list[CampaignSpec]:
+    return [
+        CampaignSpec(
+            circuit=name,
+            scale=scale,
+            bridging=bridging,
+            faults=chunk,
+            index=i,
+        )
+        for i, chunk in enumerate(chunks)
+    ]
+
+
+def merge_chunk_results(
+    circuit: Circuit, chunks: Sequence[ChunkResult]
+) -> CampaignResult:
+    """Deterministic merge: concatenate chunks in shard-index order.
+
+    Order-invariant in its input — workers may complete in any order
+    (``tests/test_bdd_properties.py`` proves invariance on shuffles).
+    """
+    ordered = sorted(chunks, key=lambda chunk: chunk.index)
+    indices = [chunk.index for chunk in ordered]
+    if indices != list(range(len(ordered))):
+        raise ValueError(f"chunk indices {indices} are not 0..{len(ordered) - 1}")
+    return CampaignResult(
+        circuit=circuit,
+        results=tuple(r for chunk in ordered for r in chunk.results),
+        exact=all(chunk.exact for chunk in ordered),
+        chunk_stats=tuple(chunk.stat for chunk in ordered),
+    )

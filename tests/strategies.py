@@ -7,11 +7,13 @@ the property tests that pit Difference Propagation against brute force.
 
 from __future__ import annotations
 
-from hypothesis import strategies as st
+from hypothesis import assume, strategies as st
 
 from repro.circuit.builder import CircuitBuilder
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit
+from repro.faults.bridging import BridgeKind, BridgingFault, enumerate_nfbfs
+from repro.faults.stuck_at import StuckAtFault, collapsed_checkpoint_faults
 
 _BINARY_GATES = (
     GateType.AND,
@@ -67,3 +69,20 @@ def circuits(
 @st.composite
 def assignments(draw, circuit: Circuit) -> dict[str, bool]:
     return {net: draw(st.booleans()) for net in circuit.inputs}
+
+
+@st.composite
+def stuck_at_faults(draw, circuit: Circuit) -> StuckAtFault:
+    """One of the circuit's collapsed checkpoint faults."""
+    faults = collapsed_checkpoint_faults(circuit)
+    assume(faults)
+    return draw(st.sampled_from(faults))
+
+
+@st.composite
+def bridging_faults(draw, circuit: Circuit) -> BridgingFault:
+    """One potentially detectable non-feedback bridge of either kind."""
+    kind = draw(st.sampled_from((BridgeKind.AND, BridgeKind.OR)))
+    candidates = list(enumerate_nfbfs(circuit, kind))
+    assume(candidates)
+    return draw(st.sampled_from(candidates))

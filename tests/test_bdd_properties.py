@@ -4,6 +4,10 @@ A random Boolean expression is evaluated two ways — through the ROBDD
 manager and through plain Python bools over all 2^n assignments — and
 must agree everywhere. Canonicity (equal functions ⇔ equal nodes) is
 checked as well, since all of Difference Propagation leans on it.
+
+On top of the operator layer, campaign-level properties run on random
+circuits: no fault's detectability ever exceeds its syndrome upper
+bound, and merging shuffled campaign chunks is order-invariant.
 """
 
 from __future__ import annotations
@@ -13,6 +17,16 @@ import itertools
 from hypothesis import given, settings, strategies as st
 
 from repro.bdd.manager import BDDManager
+from repro.core.engine import DifferencePropagation
+from repro.core.metrics import detectability_upper_bound
+from repro.core.symbolic import CircuitFunctions
+from repro.experiments import campaigns as campaign_mod
+from repro.experiments.parallel import (
+    ChunkResult,
+    merge_chunk_results,
+    shard_faults,
+)
+from tests.strategies import bridging_faults, circuits, stuck_at_faults
 
 _NUM_VARS = 4
 _NAMES = [f"v{i}" for i in range(_NUM_VARS)]
@@ -157,3 +171,74 @@ def test_support_is_exact(expr):
             for a in _all_assignments()
         )
         assert (name in support) == depends
+
+
+# ----------------------------------------------------------------------
+# Campaign-level properties on random circuits
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_stuck_at_detectability_never_exceeds_upper_bound(data):
+    """δ ≤ U for any checkpoint fault of any random circuit (paper §3)."""
+    circuit = data.draw(circuits())
+    fault = data.draw(stuck_at_faults(circuit))
+    functions = CircuitFunctions(circuit)
+    analysis = DifferencePropagation(circuit, functions=functions).analyze(
+        fault
+    )
+    assert analysis.detectability <= detectability_upper_bound(
+        functions, fault
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_bridging_detectability_never_exceeds_upper_bound(data):
+    """δ ≤ density(f_u ⊕ f_v) for any random non-feedback bridge."""
+    circuit = data.draw(circuits())
+    fault = data.draw(bridging_faults(circuit))
+    functions = CircuitFunctions(circuit)
+    analysis = DifferencePropagation(circuit, functions=functions).analyze(
+        fault
+    )
+    assert analysis.detectability <= detectability_upper_bound(
+        functions, fault
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_merging_shuffled_chunks_is_order_invariant(data):
+    """Any chunking, delivered in any order, merges to the serial tuple."""
+    from repro.faults.stuck_at import collapsed_checkpoint_faults
+
+    circuit = data.draw(circuits())
+    faults = collapsed_checkpoint_faults(circuit)
+    engine = DifferencePropagation(circuit)
+    records = campaign_mod.analyze_faults(engine, faults, bridging=False)
+
+    chunk_size = data.draw(st.integers(1, max(1, len(faults))))
+    chunks = shard_faults(faults, chunk_size)
+    offset = 0
+    chunk_results = []
+    for index, chunk in enumerate(chunks):
+        chunk_results.append(
+            ChunkResult(
+                index=index,
+                results=records[offset : offset + len(chunk)],
+                exact=True,
+                stat=campaign_mod.ChunkStat(
+                    index=index,
+                    num_faults=len(chunk),
+                    seconds=0.0,
+                    peak_nodes=0,
+                    worker_pid=0,
+                ),
+            )
+        )
+        offset += len(chunk)
+
+    shuffled = data.draw(st.permutations(chunk_results))
+    merged = merge_chunk_results(circuit, shuffled)
+    assert merged.results == records
+    assert [s.index for s in merged.chunk_stats] == list(range(len(chunks)))

@@ -1,0 +1,140 @@
+"""Cross-engine differential harness.
+
+Three independently implemented engines must agree exactly on every
+fault's detectability:
+
+1. **Difference Propagation** (`core.engine`) — OBDD Δ-propagation,
+   the paper's algorithm;
+2. **truth-table fault simulation** (`simulation.truthtable`) —
+   bit-parallel exhaustive simulation, one bit per input vector;
+3. **deductive fault simulation** (`simulation.deductive`) —
+   Armstrong's flip-set algebra, one pass per vector.
+
+They share no propagation code (BDD apply vs. integer words vs.
+frozenset algebra), so agreement on complete collapsed checkpoint sets
+is strong evidence all three are right. Small circuits are swept
+exhaustively; the 74LS181 runs a seeded fault/vector sample; a C432
+spot-check against concrete single-vector simulation is marked slow.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.benchcircuits import get_circuit
+from repro.core.engine import DifferencePropagation
+from repro.faults.stuck_at import StuckAtFault, collapsed_checkpoint_faults
+from repro.simulation import TruthTableSimulator, detects
+from repro.simulation.deductive import DeductiveFaultSimulator
+
+FULL_SWEEP_CIRCUITS = ("c17", "fulladder", "c95")
+
+
+def _deductive_detectabilities(
+    circuit, faults: list[StuckAtFault], vectors: range
+) -> dict[StuckAtFault, Fraction]:
+    """Exact detectabilities by counting per-vector deductive detections."""
+    sim = DeductiveFaultSimulator(circuit, faults)
+    tts = TruthTableSimulator(circuit)
+    counts: dict[StuckAtFault, int] = {fault: 0 for fault in faults}
+    for vector in vectors:
+        for fault in sim.detected(tts.assignment_for(vector)):
+            counts[fault] += 1
+    total = 2**circuit.num_inputs
+    return {fault: Fraction(n, total) for fault, n in counts.items()}
+
+
+@pytest.mark.parametrize("name", FULL_SWEEP_CIRCUITS)
+def test_three_engines_agree_on_every_checkpoint_fault(name):
+    """DP == truth table == deductive, exactly, fault by fault."""
+    circuit = get_circuit(name)
+    faults = collapsed_checkpoint_faults(circuit)
+    assert faults, "collapsed checkpoint set must be non-empty"
+
+    engine = DifferencePropagation(circuit)
+    tts = TruthTableSimulator(circuit)
+    deductive = _deductive_detectabilities(
+        circuit, faults, range(2**circuit.num_inputs)
+    )
+
+    mismatches = []
+    for fault in faults:
+        dp = engine.analyze(fault).detectability
+        tt = tts.detectability(fault)
+        ded = deductive[fault]
+        if not (dp == tt == ded):
+            mismatches.append(f"{fault}: dp={dp} tt={tt} deductive={ded}")
+    assert not mismatches, "\n".join(mismatches)
+
+
+@pytest.mark.parametrize("name", FULL_SWEEP_CIRCUITS)
+def test_dp_test_sets_match_truth_table_words(name):
+    """Beyond the scalar: the *complete test sets* must be identical."""
+    circuit = get_circuit(name)
+    engine = DifferencePropagation(circuit)
+    tts = TruthTableSimulator(circuit)
+    for fault in collapsed_checkpoint_faults(circuit):
+        analysis = engine.analyze(fault)
+        word = tts.detection_word(fault)
+        for vector in range(tts.num_vectors):
+            in_dp = analysis.tests.evaluate(tts.assignment_for(vector))
+            assert in_dp == bool((word >> vector) & 1), (
+                f"{name} {fault}: vector {vector} disagrees"
+            )
+
+
+def test_alu181_sampled_faults_and_vectors_agree():
+    """74LS181 (14 PIs): seeded sample, per-vector three-way agreement."""
+    circuit = get_circuit("alu181")
+    rng = random.Random(181)
+    all_faults = collapsed_checkpoint_faults(circuit)
+    faults = sorted(rng.sample(all_faults, 24))
+    vectors = rng.sample(range(2**circuit.num_inputs), 48)
+
+    engine = DifferencePropagation(circuit)
+    tts = TruthTableSimulator(circuit)
+    deductive = DeductiveFaultSimulator(circuit, faults)
+    analyses = {fault: engine.analyze(fault) for fault in faults}
+    words = {fault: tts.detection_word(fault) for fault in faults}
+
+    for vector in vectors:
+        assignment = tts.assignment_for(vector)
+        detected = deductive.detected(assignment)
+        for fault in faults:
+            in_dp = analyses[fault].tests.evaluate(assignment)
+            in_tt = bool((words[fault] >> vector) & 1)
+            in_ded = fault in detected
+            assert in_dp == in_tt == in_ded, (
+                f"{fault} @ vector {vector}: dp={in_dp} tt={in_tt} "
+                f"deductive={in_ded}"
+            )
+
+
+@pytest.mark.slow
+def test_c432_spot_check_against_concrete_simulation():
+    """C432 (36 PIs — beyond truth tables): DP vs. one-vector simulation.
+
+    For a seeded fault sample, every vector DP claims detects the fault
+    must flip an output in concrete faulty simulation, and vice versa
+    for random probe vectors.
+    """
+    circuit = get_circuit("c432")
+    rng = random.Random(432)
+    faults = sorted(rng.sample(collapsed_checkpoint_faults(circuit), 40))
+    engine = DifferencePropagation(circuit)
+    for fault in faults:
+        analysis = engine.analyze(fault)
+        picked = analysis.pick_test()
+        if picked is not None:
+            full = {net: picked.get(net, False) for net in circuit.inputs}
+            assert detects(circuit, full, fault), f"{fault}: DP test rejected"
+        else:
+            assert analysis.detectability == 0
+        for _ in range(8):
+            probe = {net: rng.random() < 0.5 for net in circuit.inputs}
+            assert analysis.tests.evaluate(probe) == detects(
+                circuit, probe, fault
+            ), f"{fault}: probe vector disagrees"
