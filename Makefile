@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-all test-parallel bench bench-parallel experiments experiments-paper examples clean
+.PHONY: install test test-all test-parallel test-gc bench bench-parallel bench-gc experiments experiments-paper examples clean
 
 install:
 	pip install -e .
@@ -14,11 +14,17 @@ test-all:
 test-parallel:
 	$(PYTHON) -m pytest tests/test_parallel_campaigns.py tests/test_differential_engines.py -v
 
+test-gc:
+	$(PYTHON) -m pytest tests/test_bdd_gc.py tests/test_gc_campaigns.py -m "" -v
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-parallel:
 	$(PYTHON) -m pytest benchmarks/test_bench_parallel.py --benchmark-only
+
+bench-gc:
+	$(PYTHON) -m pytest benchmarks/test_bench_gc.py --benchmark-only
 
 experiments:
 	$(PYTHON) -m repro.experiments --out results/

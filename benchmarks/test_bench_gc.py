@@ -1,0 +1,82 @@
+"""Bench — incremental GC vs. the never-collect baseline on C432.
+
+Runs the complete collapsed checkpoint campaign on C432 twice through
+the engine: once with GC disabled (the node store grows monotonically,
+the pre-GC behaviour) and once with the campaign GC threshold. Asserts
+bit-identical detectabilities, zero rebuild fallbacks, and a bounded
+live population, then records peak/live node counts, reclaim totals
+and the GC overhead to ``results/bench_gc.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.benchcircuits import get_circuit
+from repro.core.engine import DifferencePropagation
+from repro.experiments import campaigns
+from repro.faults.stuck_at import collapsed_checkpoint_faults
+
+#: Large enough that the baseline engine never collects nor rebuilds.
+NEVER = 10**9
+
+
+@pytest.fixture(autouse=True)
+def _isolated_campaign_state():
+    campaigns.clear_campaign_caches()
+    yield
+    campaigns.clear_campaign_caches()
+
+
+@pytest.mark.benchmark(group="gc")
+def test_gc_overhead_and_footprint_c432(benchmark, results_dir):
+    circuit = get_circuit("c432")
+    faults = collapsed_checkpoint_faults(circuit)
+
+    def run(gc_limit: int):
+        engine = DifferencePropagation(
+            circuit, gc_node_limit=gc_limit, rebuild_node_limit=NEVER
+        )
+        t0 = time.perf_counter()
+        detectabilities = [engine.analyze(f).detectability for f in faults]
+        return engine, detectabilities, time.perf_counter() - t0
+
+    baseline_engine, baseline_det, t_baseline = run(NEVER)
+    baseline_stats = baseline_engine.manager_stats()
+
+    def gc_run():
+        return run(campaigns.CAMPAIGN_GC_LIMIT)
+
+    gc_engine, gc_det, t_gc = benchmark.pedantic(
+        gc_run, rounds=3, iterations=1
+    )
+    gc_stats = gc_engine.manager_stats()
+
+    # GC must be invisible in the answers and never need the fallback.
+    assert gc_det == baseline_det, "GC changed a detectability"
+    assert gc_engine.gc_runs > 0
+    assert gc_engine.rebuilds == 0
+    assert gc_stats.reclaimed_nodes > 0
+    assert gc_stats.live_nodes <= gc_engine._gc_threshold
+    assert gc_stats.allocated_nodes < baseline_stats.allocated_nodes
+
+    overhead = (t_gc - t_baseline) / t_baseline if t_baseline else 0.0
+    lines = [
+        f"c432 stuck-at campaign, {len(faults)} faults, "
+        f"gc threshold {campaigns.CAMPAIGN_GC_LIMIT}",
+        f"no-gc baseline {t_baseline:8.3f} s  "
+        f"(allocated {baseline_stats.allocated_nodes})",
+        f"with gc        {t_gc:8.3f} s  "
+        f"({gc_engine.gc_runs} sweeps, {gc_engine.rebuilds} rebuilds)",
+        f"gc overhead    {100 * overhead:+7.1f} %",
+        f"peak live nodes     {gc_engine.peak_live_nodes}",
+        f"steady-state live   {gc_stats.live_nodes}",
+        f"allocated (gc)      {gc_stats.allocated_nodes}",
+        f"reclaimed slots     {gc_stats.reclaimed_nodes}",
+        f"cache hit rate      {100 * gc_stats.cache_hit_rate:6.1f} %",
+    ]
+    rendering = "\n".join(lines)
+    (results_dir / "bench_gc.txt").write_text(rendering + "\n")
+    print(f"\n{rendering}")

@@ -4,8 +4,10 @@ This package implements the OBDD machinery of Bryant (IEEE ToC 1986)
 that Difference Propagation uses as its functional representation:
 
 * :class:`~repro.bdd.manager.BDDManager` — shared-node manager with a
-  unique table, computed-table memoization, and the full set of binary
-  operators built on ``ite``.
+  unique table, a size-bounded computed table
+  (:class:`~repro.bdd.cache.OperationCache`), reference-counted
+  mark-sweep garbage collection (``incref``/``decref``/``gc``), and the
+  full set of binary operators built on ``ite``.
 * :class:`~repro.bdd.function.Function` — an immutable, operator-
   overloaded handle to a node in a manager (``&``, ``|``, ``^``, ``~``).
 * :mod:`~repro.bdd.ordering` — variable-ordering heuristics (netlist
@@ -22,6 +24,12 @@ Example
 5
 """
 
+from repro.bdd.cache import (
+    DEFAULT_CACHE_SIZE,
+    ManagerStats,
+    OpCacheStats,
+    OperationCache,
+)
 from repro.bdd.manager import BDDManager, FALSE, TRUE
 from repro.bdd.function import Function
 from repro.bdd.ordering import dfs_fanin_order, interleaved_order
@@ -39,6 +47,10 @@ __all__ = [
     "Function",
     "FALSE",
     "TRUE",
+    "ManagerStats",
+    "OpCacheStats",
+    "OperationCache",
+    "DEFAULT_CACHE_SIZE",
     "dfs_fanin_order",
     "interleaved_order",
     "to_dot",

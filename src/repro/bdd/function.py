@@ -11,6 +11,14 @@ code can write Boolean algebra naturally::
 
 All instances combined in one expression must belong to the same
 manager; mixing managers raises :class:`~repro.bdd.manager.BDDError`.
+
+Every ``Function`` takes an external reference on its root node
+(:meth:`BDDManager.incref <repro.bdd.manager.BDDManager.incref>`) when
+constructed and releases it when the wrapper is finalized, so any node
+reachable from a live ``Function`` survives
+:meth:`BDDManager.gc <repro.bdd.manager.BDDManager.gc>` — handles held
+across a collection stay valid, including those inside previously
+returned fault analyses.
 """
 
 from __future__ import annotations
@@ -29,6 +37,20 @@ class Function:
     def __init__(self, manager: BDDManager, node: int) -> None:
         self.manager = manager
         self.node = node
+        # Root-reference the node so manager.gc() never frees it while
+        # this handle is alive; released again by __del__.
+        if node > TRUE:
+            manager.incref(node)
+
+    def __del__(self) -> None:
+        # decref is lenient, but guard anyway: during interpreter
+        # teardown the manager (or this wrapper's slots) may already be
+        # partially finalized.
+        try:
+            if self.node > TRUE:
+                self.manager.decref(self.node)
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # Construction helpers

@@ -13,6 +13,24 @@ Because of these invariants two functions are equal iff their node ids
 are equal, which is what makes exact fault analysis cheap: a difference
 function is "identically zero" exactly when its id is 0.
 
+Memory management is reference-counted at the root granularity:
+external holders (``Function`` handles, ``CircuitFunctions`` tables)
+register their roots with :meth:`BDDManager.incref` and release them
+with :meth:`BDDManager.decref`. :meth:`BDDManager.gc` mark-sweeps
+everything unreachable from the registered roots onto a free list —
+node ids of live nodes never change — rebuilds the unique table over
+the survivors, and invalidates computed-table and counting-memo
+entries that touch freed slots (a freed slot may be reused for a
+different node, so stale entries would otherwise alias). GC never runs
+implicitly: raw integer handles stay valid until somebody explicitly
+calls :meth:`gc`, which is why the engine only collects between fault
+analyses.
+
+The computed table itself is a size-bounded
+:class:`~repro.bdd.cache.OperationCache` with per-op hit/miss/eviction
+counters; :meth:`BDDManager.stats` snapshots the whole picture as a
+:class:`~repro.bdd.cache.ManagerStats`.
+
 The manager works on raw integer handles for speed; the friendlier
 :class:`repro.bdd.function.Function` wrapper is layered on top.
 """
@@ -21,18 +39,28 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
+from repro.bdd.cache import (
+    DEFAULT_CACHE_SIZE,
+    ManagerStats,
+    OperationCache,
+)
+from repro.bdd.cache import (
+    OP_AND as _OP_AND,
+    OP_COMPOSE as _OP_COMPOSE,
+    OP_EXISTS as _OP_EXISTS,
+    OP_FORALL as _OP_FORALL,
+    OP_ITE as _OP_ITE,
+    OP_NOT as _OP_NOT,
+    OP_OR as _OP_OR,
+    OP_RESTRICT as _OP_RESTRICT,
+    OP_XOR as _OP_XOR,
+)
+
 FALSE = 0
 TRUE = 1
 
-# Operation tags for the computed table.
-_OP_AND = 0
-_OP_OR = 1
-_OP_XOR = 2
-_OP_NOT = 3
-_OP_ITE = 4
-_OP_EXISTS = 5
-_OP_FORALL = 6
-_OP_COMPOSE = 7
+#: Sentinel level marking a freed node slot (terminals use 2**60).
+_FREED = -1
 
 
 class BDDError(Exception):
@@ -49,19 +77,34 @@ class BDDManager:
         tested first). More variables may be appended later with
         :meth:`add_var`; inserting in the middle of the order is not
         supported (it would invalidate existing nodes).
+    cache_size:
+        Bound on the computed table (entries). The oldest half is
+        evicted on overflow; see :mod:`repro.bdd.cache`.
     """
 
-    def __init__(self, variables: Iterable[str] = ()) -> None:
+    def __init__(
+        self,
+        variables: Iterable[str] = (),
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
         # Node store. Index = node id. Terminals occupy ids 0 and 1 with
         # a sentinel level larger than any variable level.
         self._level: list[int] = [2**60, 2**60]
         self._low: list[int] = [0, 1]
         self._high: list[int] = [0, 1]
         self._unique: dict[tuple[int, int, int], int] = {}
-        self._cache: dict[tuple, int] = {}
+        self._cache = OperationCache(cache_size)
         self._count_memo: dict[int, int] = {}
         self._var_names: list[str] = []
         self._var_index: dict[str, int] = {}
+        # Reclaimed node slots available for reuse (ids stay stable for
+        # live nodes; only slots proven dead by gc() land here).
+        self._free: list[int] = []
+        # External reference counts: node id -> number of outstanding
+        # holders. These are gc()'s root set.
+        self._extrefs: dict[int, int] = {}
+        self._gc_runs = 0
+        self._reclaimed_total = 0
         for name in variables:
             self.add_var(name)
 
@@ -125,8 +168,28 @@ class BDDManager:
 
     @property
     def num_nodes(self) -> int:
-        """Total nodes ever allocated (including both terminals)."""
+        """Node slots allocated so far (including both terminals).
+
+        Freed slots are counted until they are reused — this is the
+        store's high-water footprint, not the live population; see
+        :attr:`num_live_nodes`.
+        """
         return len(self._level)
+
+    @property
+    def num_allocated_nodes(self) -> int:
+        """Alias of :attr:`num_nodes` (allocated slots incl. terminals)."""
+        return len(self._level)
+
+    @property
+    def num_live_nodes(self) -> int:
+        """Slots currently in use (allocated minus the free list).
+
+        Between :meth:`gc` calls this includes not-yet-collected
+        garbage; immediately after a collection it is exactly the
+        number of nodes reachable from the registered roots.
+        """
+        return len(self._level) - len(self._free)
 
     def _mk(self, level: int, low: int, high: int) -> int:
         """Find-or-create the node ``(level, low, high)`` (the reduce rules)."""
@@ -135,18 +198,145 @@ class BDDManager:
         key = (level, low, high)
         node = self._unique.get(key)
         if node is None:
-            node = len(self._level)
-            self._level.append(level)
-            self._low.append(low)
-            self._high.append(high)
+            free = self._free
+            if free:
+                node = free.pop()
+                self._level[node] = level
+                self._low[node] = low
+                self._high[node] = high
+            else:
+                node = len(self._level)
+                self._level.append(level)
+                self._low.append(low)
+                self._high.append(high)
             self._unique[key] = node
         return node
+
+    # ------------------------------------------------------------------
+    # External references & garbage collection
+    # ------------------------------------------------------------------
+    def incref(self, u: int) -> int:
+        """Register an external reference to ``u`` (a GC root); returns ``u``.
+
+        Terminals are permanent and never counted. Every ``incref``
+        must eventually be paired with a :meth:`decref` or the node
+        stays live forever.
+        """
+        if u > TRUE:
+            refs = self._extrefs
+            refs[u] = refs.get(u, 0) + 1
+        return u
+
+    def decref(self, u: int) -> None:
+        """Release one external reference to ``u``.
+
+        Lenient on over-release: unknown nodes are ignored so handle
+        finalizers are safe during interpreter teardown (and after the
+        reference table has been dropped wholesale).
+        """
+        if u <= TRUE:
+            return
+        refs = self._extrefs
+        count = refs.get(u)
+        if count is None:
+            return
+        if count <= 1:
+            del refs[u]
+        else:
+            refs[u] = count - 1
+
+    def ref_count(self, u: int) -> int:
+        """Outstanding external references to ``u`` (0 for terminals)."""
+        return self._extrefs.get(u, 0)
+
+    def gc(self) -> int:
+        """Mark-and-sweep unreachable nodes; returns the number reclaimed.
+
+        Roots are the externally referenced nodes (see :meth:`incref`).
+        Live node ids never change — dead slots go to a free list for
+        reuse — so raw handles to live nodes, ``Function`` wrappers,
+        and ``CircuitFunctions`` tables all stay valid. The unique
+        table is rebuilt over the survivors, and computed-table /
+        counting-memo entries touching freed slots are invalidated
+        (slot reuse would otherwise alias them onto different nodes).
+
+        Never called implicitly: callers holding raw node ints outside
+        the root set are safe until *they* decide to collect.
+        """
+        level, low, high = self._level, self._low, self._high
+        alive = bytearray(len(level))
+        alive[FALSE] = alive[TRUE] = 1
+        stack = list(self._extrefs)
+        while stack:
+            u = stack.pop()
+            if alive[u]:
+                continue
+            alive[u] = 1
+            lo, hi = low[u], high[u]
+            if not alive[lo]:
+                stack.append(lo)
+            if not alive[hi]:
+                stack.append(hi)
+        free = self._free
+        freed = 0
+        unique: dict[tuple[int, int, int], int] = {}
+        for u in range(2, len(level)):
+            lv = level[u]
+            if lv == _FREED:
+                continue  # reclaimed in an earlier sweep, still free
+            if alive[u]:
+                unique[(lv, low[u], high[u])] = u
+            else:
+                level[u] = _FREED
+                free.append(u)
+                freed += 1
+        self._unique = unique
+        self._gc_runs += 1
+        if freed:
+            self._reclaimed_total += freed
+            self._cache.invalidate_dead(alive)
+            self._count_memo = {
+                u: count for u, count in self._count_memo.items() if alive[u]
+            }
+        return freed
+
+    @property
+    def gc_runs(self) -> int:
+        """Number of :meth:`gc` sweeps performed."""
+        return self._gc_runs
+
+    @property
+    def reclaimed_nodes(self) -> int:
+        """Total node slots reclaimed across every :meth:`gc` sweep."""
+        return self._reclaimed_total
+
+    def stats(self) -> ManagerStats:
+        """Plain-scalar snapshot of node store and cache health."""
+        cache = self._cache
+        return ManagerStats(
+            live_nodes=self.num_live_nodes,
+            allocated_nodes=self.num_nodes,
+            gc_runs=self._gc_runs,
+            reclaimed_nodes=self._reclaimed_total,
+            cache_entries=len(cache),
+            cache_bound=cache.bound,
+            cache_hits=sum(cache.hits),
+            cache_misses=sum(cache.misses),
+            cache_evictions=sum(cache.evictions),
+            cache_invalidations=cache.invalidated,
+            op_stats=cache.op_stats(),
+        )
 
     # ------------------------------------------------------------------
     # Core operator: if-then-else
     # ------------------------------------------------------------------
     def ite(self, f: int, g: int, h: int) -> int:
         """``(f & g) | (~f & h)`` — the universal ternary connective."""
+        result = self._ite(f, g, h)
+        self._cache.maybe_evict()
+        return result
+
+    def _ite(self, f: int, g: int, h: int) -> int:
         if f == TRUE:
             return g
         if f == FALSE:
@@ -156,18 +346,21 @@ class BDDManager:
         if g == TRUE and h == FALSE:
             return f
         key = (_OP_ITE, f, g, h)
-        result = self._cache.get(key)
+        cache = self._cache
+        result = cache.data.get(key)
         if result is not None:
+            cache.hits[_OP_ITE] += 1
             return result
+        cache.misses[_OP_ITE] += 1
         levels = (self._level[f], self._level[g], self._level[h])
         top = min(levels)
         f0, f1 = self._cofactors(f, top)
         g0, g1 = self._cofactors(g, top)
         h0, h1 = self._cofactors(h, top)
-        low = self.ite(f0, g0, h0)
-        high = self.ite(f1, g1, h1)
+        low = self._ite(f0, g0, h0)
+        high = self._ite(f1, g1, h1)
         result = self._mk(top, low, high)
-        self._cache[key] = result
+        cache.data[key] = result
         return result
 
     def _cofactors(self, u: int, level: int) -> tuple[int, int]:
@@ -179,20 +372,28 @@ class BDDManager:
     # Binary / unary operators
     # ------------------------------------------------------------------
     def apply_not(self, f: int) -> int:
+        result = self._not(f)
+        self._cache.maybe_evict()
+        return result
+
+    def _not(self, f: int) -> int:
         if f == FALSE:
             return TRUE
         if f == TRUE:
             return FALSE
         key = (_OP_NOT, f)
-        result = self._cache.get(key)
+        cache = self._cache
+        result = cache.data.get(key)
         if result is not None:
+            cache.hits[_OP_NOT] += 1
             return result
+        cache.misses[_OP_NOT] += 1
         result = self._mk(
-            self._level[f], self.apply_not(self._low[f]), self.apply_not(self._high[f])
+            self._level[f], self._not(self._low[f]), self._not(self._high[f])
         )
-        self._cache[key] = result
+        cache.data[key] = result
         # Negation is an involution; prime the reverse entry too.
-        self._cache[(_OP_NOT, result)] = f
+        cache.data[(_OP_NOT, result)] = f
         return result
 
     # The three workhorse binary operators are written with
@@ -202,7 +403,9 @@ class BDDManager:
 
     def apply_and(self, f: int, g: int) -> int:
         level, low, high = self._level, self._low, self._high
-        cache, unique = self._cache, self._unique
+        cache_obj = self._cache
+        cache, hits, misses = cache_obj.data, cache_obj.hits, cache_obj.misses
+        unique, free = self._unique, self._free
 
         def rec(f: int, g: int) -> int:
             if f == g or g == TRUE:
@@ -216,7 +419,9 @@ class BDDManager:
             key = (_OP_AND, f, g)
             result = cache.get(key)
             if result is not None:
+                hits[_OP_AND] += 1
                 return result
+            misses[_OP_AND] += 1
             lf, lg = level[f], level[g]
             if lf <= lg:
                 top, f0, f1 = lf, low[f], high[f]
@@ -234,19 +439,29 @@ class BDDManager:
                 node_key = (top, r0, r1)
                 result = unique.get(node_key)
                 if result is None:
-                    result = len(level)
-                    level.append(top)
-                    low.append(r0)
-                    high.append(r1)
+                    if free:
+                        result = free.pop()
+                        level[result] = top
+                        low[result] = r0
+                        high[result] = r1
+                    else:
+                        result = len(level)
+                        level.append(top)
+                        low.append(r0)
+                        high.append(r1)
                     unique[node_key] = result
             cache[key] = result
             return result
 
-        return rec(f, g)
+        result = rec(f, g)
+        cache_obj.maybe_evict()
+        return result
 
     def apply_or(self, f: int, g: int) -> int:
         level, low, high = self._level, self._low, self._high
-        cache, unique = self._cache, self._unique
+        cache_obj = self._cache
+        cache, hits, misses = cache_obj.data, cache_obj.hits, cache_obj.misses
+        unique, free = self._unique, self._free
 
         def rec(f: int, g: int) -> int:
             if f == g or g == FALSE:
@@ -260,7 +475,9 @@ class BDDManager:
             key = (_OP_OR, f, g)
             result = cache.get(key)
             if result is not None:
+                hits[_OP_OR] += 1
                 return result
+            misses[_OP_OR] += 1
             lf, lg = level[f], level[g]
             if lf <= lg:
                 top, f0, f1 = lf, low[f], high[f]
@@ -278,20 +495,30 @@ class BDDManager:
                 node_key = (top, r0, r1)
                 result = unique.get(node_key)
                 if result is None:
-                    result = len(level)
-                    level.append(top)
-                    low.append(r0)
-                    high.append(r1)
+                    if free:
+                        result = free.pop()
+                        level[result] = top
+                        low[result] = r0
+                        high[result] = r1
+                    else:
+                        result = len(level)
+                        level.append(top)
+                        low.append(r0)
+                        high.append(r1)
                     unique[node_key] = result
             cache[key] = result
             return result
 
-        return rec(f, g)
+        result = rec(f, g)
+        cache_obj.maybe_evict()
+        return result
 
     def apply_xor(self, f: int, g: int) -> int:
         level, low, high = self._level, self._low, self._high
-        cache, unique = self._cache, self._unique
-        apply_not = self.apply_not
+        cache_obj = self._cache
+        cache, hits, misses = cache_obj.data, cache_obj.hits, cache_obj.misses
+        unique, free = self._unique, self._free
+        apply_not = self._not
 
         def rec(f: int, g: int) -> int:
             if f == g:
@@ -309,7 +536,9 @@ class BDDManager:
             key = (_OP_XOR, f, g)
             result = cache.get(key)
             if result is not None:
+                hits[_OP_XOR] += 1
                 return result
+            misses[_OP_XOR] += 1
             lf, lg = level[f], level[g]
             if lf <= lg:
                 top, f0, f1 = lf, low[f], high[f]
@@ -327,15 +556,23 @@ class BDDManager:
                 node_key = (top, r0, r1)
                 result = unique.get(node_key)
                 if result is None:
-                    result = len(level)
-                    level.append(top)
-                    low.append(r0)
-                    high.append(r1)
+                    if free:
+                        result = free.pop()
+                        level[result] = top
+                        low[result] = r0
+                        high[result] = r1
+                    else:
+                        result = len(level)
+                        level.append(top)
+                        low.append(r0)
+                        high.append(r1)
                     unique[node_key] = result
             cache[key] = result
             return result
 
-        return rec(f, g)
+        result = rec(f, g)
+        cache_obj.maybe_evict()
+        return result
 
     def apply_nand(self, f: int, g: int) -> int:
         return self.apply_not(self.apply_and(f, g))
@@ -355,15 +592,20 @@ class BDDManager:
     def restrict(self, f: int, name: str, value: bool) -> int:
         """Cofactor of ``f`` with variable ``name`` fixed to ``value``."""
         level = self.level_of(name)
-        return self._restrict(f, level, bool(value))
+        result = self._restrict(f, level, bool(value))
+        self._cache.maybe_evict()
+        return result
 
     def _restrict(self, f: int, level: int, value: bool) -> int:
         if self._level[f] > level:
             return f
-        key = ("restrict", f, level, value)
-        result = self._cache.get(key)
+        key = (_OP_RESTRICT, f, level, value)
+        cache = self._cache
+        result = cache.data.get(key)
         if result is not None:
+            cache.hits[_OP_RESTRICT] += 1
             return result
+        cache.misses[_OP_RESTRICT] += 1
         if self._level[f] == level:
             result = self._high[f] if value else self._low[f]
         else:
@@ -372,18 +614,22 @@ class BDDManager:
                 self._restrict(self._low[f], level, value),
                 self._restrict(self._high[f], level, value),
             )
-        self._cache[key] = result
+        cache.data[key] = result
         return result
 
     def exists(self, f: int, names: Iterable[str]) -> int:
         """Existential quantification over the given variables."""
         levels = frozenset(self.level_of(n) for n in names)
-        return self._quantify(f, levels, _OP_EXISTS)
+        result = self._quantify(f, levels, _OP_EXISTS)
+        self._cache.maybe_evict()
+        return result
 
     def forall(self, f: int, names: Iterable[str]) -> int:
         """Universal quantification over the given variables."""
         levels = frozenset(self.level_of(n) for n in names)
-        return self._quantify(f, levels, _OP_FORALL)
+        result = self._quantify(f, levels, _OP_FORALL)
+        self._cache.maybe_evict()
+        return result
 
     def _quantify(self, f: int, levels: frozenset[int], op: int) -> int:
         if f <= TRUE or not levels:
@@ -391,9 +637,12 @@ class BDDManager:
         if self._level[f] > max(levels):
             return f
         key = (op, f, levels)
-        result = self._cache.get(key)
+        cache = self._cache
+        result = cache.data.get(key)
         if result is not None:
+            cache.hits[op] += 1
             return result
+        cache.misses[op] += 1
         low = self._quantify(self._low[f], levels, op)
         high = self._quantify(self._high[f], levels, op)
         if self._level[f] in levels:
@@ -403,23 +652,28 @@ class BDDManager:
                 result = self.apply_and(low, high)
         else:
             result = self._mk(self._level[f], low, high)
-        self._cache[key] = result
+        cache.data[key] = result
         return result
 
     def compose(self, f: int, name: str, g: int) -> int:
         """Substitute function ``g`` for variable ``name`` in ``f``."""
         level = self.level_of(name)
-        return self._compose(f, level, g)
+        result = self._compose(f, level, g)
+        self._cache.maybe_evict()
+        return result
 
     def _compose(self, f: int, level: int, g: int) -> int:
         if self._level[f] > level:
             return f
         key = (_OP_COMPOSE, f, level, g)
-        result = self._cache.get(key)
+        cache = self._cache
+        result = cache.data.get(key)
         if result is not None:
+            cache.hits[_OP_COMPOSE] += 1
             return result
+        cache.misses[_OP_COMPOSE] += 1
         if self._level[f] == level:
-            result = self.ite(g, self._high[f], self._low[f])
+            result = self._ite(g, self._high[f], self._low[f])
         else:
             low = self._compose(self._low[f], level, g)
             high = self._compose(self._high[f], level, g)
@@ -427,8 +681,8 @@ class BDDManager:
             # relative to level(f) if g's top variable sits above f's —
             # rebuild through ite on the decision variable to stay safe.
             var_node = self._mk(self._level[f], FALSE, TRUE)
-            result = self.ite(var_node, high, low)
-        self._cache[key] = result
+            result = self._ite(var_node, high, low)
+        cache.data[key] = result
         return result
 
     # ------------------------------------------------------------------

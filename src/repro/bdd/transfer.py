@@ -37,29 +37,57 @@ def transfer(
     """
     rename = rename or {}
     memo: dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
-
-    def rebuild(u: int) -> int:
-        cached = memo.get(u)
-        if cached is not None:
-            return cached
-        name = rename.get(source.var_at(u), source.var_at(u))
-        low = rebuild(source.low(u))
-        high = rebuild(source.high(u))
-        result = target.ite(target.var(name), high, low)
-        memo[u] = result
-        return result
-
-    return rebuild(node)
+    # Iterative bottom-up rebuild: cut-point decomposition can push
+    # OBDD depth (one level per pseudo-variable) far past Python's
+    # recursion limit, so the children-first traversal keeps its own
+    # stack. A node is rebuilt once both children are in the memo.
+    stack = [node]
+    while stack:
+        u = stack[-1]
+        if u in memo:
+            stack.pop()
+            continue
+        low, high = source.low(u), source.high(u)
+        low_done = low in memo
+        high_done = high in memo
+        if low_done and high_done:
+            name = rename.get(source.var_at(u), source.var_at(u))
+            memo[u] = target.ite(target.var(name), memo[high], memo[low])
+            stack.pop()
+        else:
+            if not high_done:
+                stack.append(high)
+            if not low_done:
+                stack.append(low)
+    return memo[node]
 
 
 def functions_equal(
     source_a: BDDManager, node_a: int, source_b: BDDManager, node_b: int
 ) -> bool:
-    """Semantic equality across managers (same variable names assumed)."""
+    """Semantic equality across managers sharing variable names.
+
+    Comparing functions whose support variables the *other* manager has
+    never declared is almost certainly a caller bug (the "same"
+    variable must mean the same input on both sides), so the name
+    mismatch is detected up front and reported with both managers'
+    missing variables instead of surfacing an opaque ``unknown
+    variable`` error from deep inside :func:`transfer`.
+    """
     if source_a is source_b:
         return node_a == node_b
-    support = source_a.support(node_a) | source_b.support(node_b)
-    fresh = BDDManager(sorted(support))
+    support_a = source_a.support(node_a)
+    support_b = source_b.support(node_b)
+    missing_in_b = support_a - set(source_b.var_names)
+    missing_in_a = support_b - set(source_a.var_names)
+    if missing_in_a or missing_in_b:
+        raise BDDError(
+            "functions_equal: managers disagree on variable names — "
+            f"first manager lacks {sorted(missing_in_a)}, "
+            f"second manager lacks {sorted(missing_in_b)}; "
+            "use transfer(..., rename=...) to map names explicitly"
+        )
+    fresh = BDDManager(sorted(support_a | support_b))
     return transfer(source_a, node_a, fresh) == transfer(source_b, node_b, fresh)
 
 

@@ -14,17 +14,25 @@ underlying OBDD manager) across an entire fault campaign:
 3. **collect** — the union of the primary-output differences is
    "identically the complete test set for the fault".
 
-Long campaigns grow the shared manager monotonically (ROBDD nodes are
-never freed); when the node store crosses ``rebuild_node_limit`` the
-engine transparently rebuilds the good functions in a fresh manager.
-Functions inside previously returned analyses remain valid — they hold
-a reference to their own manager.
+Long campaigns accumulate dead difference nodes in the shared manager;
+between faults the engine reclaims them with threshold-triggered
+incremental garbage collection (:meth:`BDDManager.gc
+<repro.bdd.manager.BDDManager.gc>`): once the in-use node count
+crosses ``gc_node_limit`` the manager mark-sweeps everything
+unreachable from the good functions and outstanding ``Function``
+handles. Because live node ids never move, every previously returned
+analysis stays valid across collections. Only if even the *live*
+population exceeds ``rebuild_node_limit`` does the engine fall back to
+the legacy whole-manager rebuild (a full good-function reconstruction
+in a fresh manager) — with GC enabled that path should never trigger
+on the paper's workloads.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
+from repro.bdd.cache import ManagerStats
 from repro.bdd.function import Function
 from repro.bdd.manager import FALSE
 from repro.circuit.netlist import Circuit
@@ -34,6 +42,12 @@ from repro.core.symbolic import CircuitFunctions
 from repro.faults.bridging import BridgeKind, BridgingFault
 from repro.faults.multiple import MultipleStuckAtFault
 from repro.faults.stuck_at import StuckAtFault
+
+#: Default in-use node count that triggers an incremental GC between
+#: fault analyses. The threshold adapts upward when a sweep finds the
+#: store mostly live (see ``_manage_memory``), so a tight default is
+#: safe even for circuits whose good functions alone exceed it.
+DEFAULT_GC_NODE_LIMIT = 100_000
 
 
 class DifferencePropagation:
@@ -45,21 +59,35 @@ class DifferencePropagation:
         functions: CircuitFunctions | None = None,
         order: Sequence[str] | None = None,
         decompose_threshold: int | None = None,
+        gc_node_limit: int = DEFAULT_GC_NODE_LIMIT,
         rebuild_node_limit: int = 4_000_000,
     ) -> None:
         self.circuit = circuit
         self.functions = functions or CircuitFunctions(
             circuit, order=order, decompose_threshold=decompose_threshold
         )
+        self.gc_node_limit = gc_node_limit
         self.rebuild_node_limit = rebuild_node_limit
+        #: current (adaptive) GC trigger; starts at ``gc_node_limit``
+        #: and grows when a sweep finds the store mostly live
+        self._gc_threshold = gc_node_limit
         #: largest node store seen across every manager this engine has
-        #: driven (rebuilds reset the store, never this high-water mark)
+        #: driven (GC slot reuse and rebuilds reset the store, never
+        #: this high-water mark)
         self.peak_nodes = self.functions.manager.num_nodes
+        #: largest in-use (live) node count seen between collections
+        self.peak_live_nodes = self.functions.manager.num_live_nodes
+        #: incremental GC sweeps triggered by this engine
+        self.gc_runs = 0
+        #: node slots those sweeps reclaimed, summed over all managers
+        self.reclaimed_nodes = 0
+        #: whole-manager rebuild fallbacks (should stay 0 with GC on)
+        self.rebuilds = 0
 
     # ------------------------------------------------------------------
     def analyze(self, fault: Fault) -> FaultAnalysis:
         """Complete test set and observability of one fault."""
-        self._maybe_rebuild()
+        self._manage_memory()
         functions = self.functions
         m = functions.manager
         stem_deltas, branch_deltas = self._initialize(fault)
@@ -96,6 +124,8 @@ class DifferencePropagation:
                 tests_node = m.apply_or(tests_node, delta)
         if m.num_nodes > self.peak_nodes:
             self.peak_nodes = m.num_nodes
+        if m.num_live_nodes > self.peak_live_nodes:
+            self.peak_live_nodes = m.num_live_nodes
         return FaultAnalysis(
             fault=fault, tests=Function(m, tests_node), po_deltas=po_deltas
         )
@@ -104,6 +134,10 @@ class DifferencePropagation:
         """Analyze a fault list, managing manager growth along the way."""
         for fault in faults:
             yield self.analyze(fault)
+
+    def manager_stats(self) -> ManagerStats:
+        """Telemetry snapshot of the engine's current manager."""
+        return self.functions.manager.stats()
 
     # ------------------------------------------------------------------
     def _initialize(
@@ -142,6 +176,24 @@ class DifferencePropagation:
             return {fault.net_a: delta_a, fault.net_b: delta_b}, {}
         raise TypeError(f"unsupported fault type {type(fault).__name__}")
 
-    def _maybe_rebuild(self) -> None:
-        if self.functions.manager.num_nodes > self.rebuild_node_limit:
+    def _manage_memory(self) -> None:
+        """Reclaim dead nodes between faults; rebuild only as a fallback.
+
+        Runs before each analysis, when every difference node of the
+        previous fault is unreachable (unless the caller kept its
+        ``FaultAnalysis`` alive, in which case its roots are pinned by
+        the handles' references). A sweep that finds the store mostly
+        live raises the threshold — collecting an almost-fully-live
+        store every fault would thrash — so steady-state in-use counts
+        stay bounded by the (possibly adapted) threshold.
+        """
+        m = self.functions.manager
+        if m.num_live_nodes > self._gc_threshold:
+            self.reclaimed_nodes += m.gc()
+            self.gc_runs += 1
+            live = m.num_live_nodes
+            if live > self._gc_threshold // 2:
+                self._gc_threshold = max(self.gc_node_limit, 2 * live)
+        if m.num_live_nodes > self.rebuild_node_limit:
             self.functions = self.functions.rebuilt()
+            self.rebuilds += 1

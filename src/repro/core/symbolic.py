@@ -54,9 +54,12 @@ class CircuitFunctions:
         self._build()
 
     def _build(self) -> None:
+        # Every stored good function is incref'd: the net table is the
+        # manager's primary GC root set, so campaign-time collections
+        # can never sweep a good function out from under the engine.
         m = self.manager
         for net in self.circuit.inputs:
-            self._nodes[net] = m.var(net)
+            self._nodes[net] = m.incref(m.var(net))
         for gate in self.circuit.gates():
             operands = [self._nodes[f] for f in gate.fanins]
             node = _apply_gate(m, gate.gate_type, operands)
@@ -68,7 +71,7 @@ class CircuitFunctions:
                 m.add_var(pseudo)
                 self.cut_points[gate.name] = pseudo
                 node = m.var(pseudo)
-            self._nodes[gate.name] = node
+            self._nodes[gate.name] = m.incref(node)
 
     # ------------------------------------------------------------------
     @property
@@ -109,9 +112,9 @@ class CircuitFunctions:
     def rebuilt(self) -> "CircuitFunctions":
         """A fresh copy in a new manager (drops all accumulated nodes).
 
-        Long fault campaigns grow the shared manager monotonically; the
-        engine swaps in a rebuilt instance when it crosses a node
-        budget.
+        The legacy fallback behind incremental GC: the engine swaps in
+        a rebuilt instance only when even the *live* node population
+        exceeds its rebuild budget.
         """
         return CircuitFunctions(
             self.circuit, self.order, self.decompose_threshold

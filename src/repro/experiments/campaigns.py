@@ -65,6 +65,12 @@ class ChunkStat:
     one per shard, in original fault order. Stats never participate in
     result equality — two runs of the same campaign compare equal on
     ``results`` regardless of how they were scheduled.
+
+    The GC/cache fields come from the engine and its manager's
+    :class:`~repro.bdd.cache.ManagerStats`: cache counters are the
+    *delta* accrued while the chunk ran (a long-lived pool worker's
+    manager counts cumulatively across chunks), node counts are the
+    end-of-chunk snapshot.
     """
 
     index: int
@@ -72,6 +78,23 @@ class ChunkStat:
     seconds: float
     peak_nodes: int
     worker_pid: int
+    #: in-use node count of the chunk's manager when the chunk finished
+    live_nodes: int = 0
+    #: node slots reclaimed by GC sweeps during this chunk
+    reclaimed_nodes: int = 0
+    #: incremental GC sweeps the engine triggered during this chunk
+    gc_runs: int = 0
+    #: whole-manager rebuild fallbacks (should stay 0 with GC enabled)
+    rebuilds: int = 0
+    #: computed-table hits/misses/evictions accrued during this chunk
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
 
 @dataclass(frozen=True)
@@ -99,13 +122,39 @@ class CampaignResult:
         """Largest OBDD node store any chunk's engine reached."""
         return max((stat.peak_nodes for stat in self.chunk_stats), default=0)
 
+    def live_nodes(self) -> int:
+        """Largest end-of-chunk in-use node count across chunks."""
+        return max((stat.live_nodes for stat in self.chunk_stats), default=0)
 
-#: Engine node budget for campaigns — tighter than the engine default
-#: because experiment processes hold several circuits at once (and
-#: every pool worker holds its own copy).
+    def reclaimed_nodes(self) -> int:
+        """Node slots reclaimed by GC, summed over every chunk."""
+        return sum(stat.reclaimed_nodes for stat in self.chunk_stats)
+
+    def gc_runs(self) -> int:
+        """Incremental GC sweeps, summed over every chunk."""
+        return sum(stat.gc_runs for stat in self.chunk_stats)
+
+    def rebuilds(self) -> int:
+        """Whole-manager rebuild fallbacks, summed over every chunk."""
+        return sum(stat.rebuilds for stat in self.chunk_stats)
+
+    def cache_hit_rate(self) -> float:
+        """Aggregate computed-table hit rate across every chunk."""
+        hits = sum(stat.cache_hits for stat in self.chunk_stats)
+        lookups = hits + sum(stat.cache_misses for stat in self.chunk_stats)
+        return hits / lookups if lookups else 0.0
+
+
+#: In-use node count that triggers incremental GC between faults —
+#: tighter than the engine default because experiment processes hold
+#: several circuits at once (and every pool worker holds its own copy).
+CAMPAIGN_GC_LIMIT = 50_000
+
+#: Legacy fallback: whole-manager rebuild budget. With GC keeping live
+#: populations far smaller, campaigns should never reach this.
 CAMPAIGN_REBUILD_LIMIT = 2_500_000
 
-_functions_cache: dict[tuple[str, int | None], CircuitFunctions] = {}
+_functions_cache: dict[tuple[str, int | None, str], CircuitFunctions] = {}
 _stuck_cache: dict[tuple[str, str], CampaignResult] = {}
 _bridge_cache: dict[tuple[str, str, str], CampaignResult] = {}
 
@@ -137,6 +186,38 @@ def clear_campaign_caches() -> None:
     _stuck_cache.clear()
     _bridge_cache.clear()
     parallel.shutdown_pool()
+
+
+def telemetry_report() -> list[str]:
+    """One formatted line of GC/cache telemetry per cached campaign.
+
+    Backs the CLI's ``--stats`` surface: every campaign the current
+    process has run (serial or fanned out over workers) reports its
+    fault count, wall-clock, node-store footprint, GC activity and
+    computed-table hit rate.
+    """
+    rows: list[tuple[str, str, str, CampaignResult]] = []
+    for (name, scale_name), result in sorted(_stuck_cache.items()):
+        rows.append((name, "stuck-at", scale_name, result))
+    for (name, kind, scale_name), result in sorted(_bridge_cache.items()):
+        rows.append((name, f"bridge/{kind}", scale_name, result))
+    if not rows:
+        return ["campaign telemetry: no campaigns cached in this process"]
+    lines = [
+        "campaign telemetry (per cached campaign):",
+        f"{'circuit':<10} {'model':<12} {'faults':>6} {'sec':>8} "
+        f"{'peak':>9} {'live':>8} {'reclaimed':>9} {'gc':>4} "
+        f"{'rebuilds':>8} {'cache-hit%':>10}",
+    ]
+    for name, model, _scale_name, result in rows:
+        lines.append(
+            f"{name:<10} {model:<12} {len(result.results):>6} "
+            f"{result.total_seconds():>8.2f} {result.peak_nodes():>9} "
+            f"{result.live_nodes():>8} {result.reclaimed_nodes():>9} "
+            f"{result.gc_runs():>4} {result.rebuilds():>8} "
+            f"{100 * result.cache_hit_rate():>9.1f}%"
+        )
+    return lines
 
 
 def stuck_at_campaign(
@@ -238,6 +319,41 @@ def analyze_faults(
     return tuple(records)
 
 
+def chunk_telemetry(
+    engine: DifferencePropagation,
+    before_manager,
+    before_stats,
+) -> dict[str, int]:
+    """GC/cache telemetry fields for a finished chunk's :class:`ChunkStat`.
+
+    Cache counters are reported as the delta against ``before_stats``
+    (captured at chunk start) so long-lived pool workers — whose
+    managers accumulate counts across chunks — still report per-chunk
+    numbers. If the engine swapped managers mid-chunk (rebuild
+    fallback), the fresh manager's counters already are the chunk's
+    own, so they're reported absolutely.
+    """
+    manager = engine.functions.manager
+    stats = manager.stats()
+    if manager is before_manager:
+        hits = stats.cache_hits - before_stats.cache_hits
+        misses = stats.cache_misses - before_stats.cache_misses
+        evictions = stats.cache_evictions - before_stats.cache_evictions
+    else:
+        hits = stats.cache_hits
+        misses = stats.cache_misses
+        evictions = stats.cache_evictions
+    return {
+        "live_nodes": stats.live_nodes,
+        "reclaimed_nodes": engine.reclaimed_nodes,
+        "gc_runs": engine.gc_runs,
+        "rebuilds": engine.rebuilds,
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_evictions": evictions,
+    }
+
+
 def store_engine_functions(
     name: str, scale: Scale, engine: DifferencePropagation
 ) -> CircuitFunctions:
@@ -267,9 +383,15 @@ def _run(
     start = time.perf_counter()
     functions = circuit_functions(name, scale)
     engine = DifferencePropagation(
-        circuit, functions=functions, rebuild_node_limit=CAMPAIGN_REBUILD_LIMIT
+        circuit,
+        functions=functions,
+        gc_node_limit=CAMPAIGN_GC_LIMIT,
+        rebuild_node_limit=CAMPAIGN_REBUILD_LIMIT,
     )
+    before_manager = functions.manager
+    before_stats = before_manager.stats()
     records = analyze_faults(engine, faults, bridging)
+    telemetry = chunk_telemetry(engine, before_manager, before_stats)
     functions = store_engine_functions(name, scale, engine)
     stat = ChunkStat(
         index=0,
@@ -277,6 +399,7 @@ def _run(
         seconds=time.perf_counter() - start,
         peak_nodes=engine.peak_nodes,
         worker_pid=os.getpid(),
+        **telemetry,
     )
     return CampaignResult(
         circuit=circuit,

@@ -59,6 +59,12 @@ def main(argv: list[str] | None = None) -> int:
         help="also write one combined markdown report of this run",
     )
     parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-campaign GC/cache telemetry (live nodes, "
+        "reclaimed nodes, cache hit rates) after the run",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"
     )
     args = parser.parse_args(argv)
@@ -117,6 +123,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"_completed in {elapsed:.1f}s_",
             ]
         )
+    if args.stats:
+        from repro.experiments.campaigns import telemetry_report
+
+        stats_lines = telemetry_report()
+        print("\n" + "\n".join(stats_lines))
+        report.extend(["", "## campaign telemetry", "", "```"])
+        report.extend(stats_lines)
+        report.append("```")
+
     if args.markdown is not None:
         args.markdown.parent.mkdir(parents=True, exist_ok=True)
         args.markdown.write_text("\n".join(report) + "\n")

@@ -138,9 +138,13 @@ def run_chunk(spec: CampaignSpec) -> ChunkResult:
     engine = DifferencePropagation(
         circuit,
         functions=functions,
+        gc_node_limit=campaigns.CAMPAIGN_GC_LIMIT,
         rebuild_node_limit=campaigns.CAMPAIGN_REBUILD_LIMIT,
     )
+    before_manager = functions.manager
+    before_stats = before_manager.stats()
     records = campaigns.analyze_faults(engine, spec.faults, spec.bridging)
+    telemetry = campaigns.chunk_telemetry(engine, before_manager, before_stats)
     functions = campaigns.store_engine_functions(
         spec.circuit, spec.scale, engine
     )
@@ -150,6 +154,7 @@ def run_chunk(spec: CampaignSpec) -> ChunkResult:
         seconds=time.perf_counter() - start,
         peak_nodes=engine.peak_nodes,
         worker_pid=os.getpid(),
+        **telemetry,
     )
     return ChunkResult(
         index=spec.index,
@@ -217,7 +222,15 @@ def run_campaign(
     futures: list[Future[ChunkResult]] = [
         pool.submit(run_chunk, spec) for spec in specs
     ]
-    return merge_chunk_results(circuit, [f.result() for f in futures])
+    try:
+        chunk_results = [f.result() for f in futures]
+    except BaseException:
+        # A failed chunk must not leave the cached pool alive with the
+        # remaining chunks still queued: retire it (cancelling queued
+        # futures) so the next campaign starts from a clean pool.
+        shutdown_pool()
+        raise
+    return merge_chunk_results(circuit, chunk_results)
 
 
 def _specs(

@@ -71,6 +71,43 @@ def assignments(draw, circuit: Circuit) -> dict[str, bool]:
     return {net: draw(st.booleans()) for net in circuit.inputs}
 
 
+#: Nested-tuple Boolean expression trees over a fixed variable set —
+#: the raw material of the GC/cache property tests, which build the
+#: same expression in differently configured managers and demand
+#: identical semantics.
+BOOLEXPR_NAMES = ("a", "b", "c", "d", "e")
+
+
+def boolexprs(names: tuple[str, ...] = BOOLEXPR_NAMES):
+    """Strategy for random expression trees: names, ('not', e), (op, e, e)."""
+    leaves = st.sampled_from(names)
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.tuples(st.just("not"), children),
+            st.tuples(st.sampled_from(("and", "or", "xor")), children, children),
+        ),
+        max_leaves=12,
+    )
+
+
+def build_bdd(manager, expr) -> int:
+    """Fold a :func:`boolexprs` tree into a raw node of ``manager``."""
+    if isinstance(expr, str):
+        return manager.var(expr)
+    if expr[0] == "not":
+        return manager.apply_not(build_bdd(manager, expr[1]))
+    op, lhs, rhs = expr
+    left = build_bdd(manager, lhs)
+    right = build_bdd(manager, rhs)
+    apply = {
+        "and": manager.apply_and,
+        "or": manager.apply_or,
+        "xor": manager.apply_xor,
+    }[op]
+    return apply(left, right)
+
+
 @st.composite
 def stuck_at_faults(draw, circuit: Circuit) -> StuckAtFault:
     """One of the circuit's collapsed checkpoint faults."""

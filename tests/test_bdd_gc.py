@@ -1,0 +1,322 @@
+"""Reference counting, garbage collection and bounded-cache correctness.
+
+The hazards these tests pin down:
+
+* live roots must evaluate identically before and after :meth:`gc`,
+  with *unchanged node ids* (raw int handles are pervasive);
+* freed slots are reused, so any computed-table or counting-memo entry
+  touching a dead id must be invalidated — a stale entry would silently
+  alias onto whatever different node later lands in the slot;
+* cache eviction may only ever cost recomputation, never wrongness.
+
+Property tests draw expression trees from
+:func:`tests.strategies.boolexprs` and build them in differently
+configured managers, demanding identical semantics throughout.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.cache import (
+    OP_AND,
+    OP_NAMES,
+    OP_NOT,
+    ManagerStats,
+    OperationCache,
+)
+from repro.bdd.function import Function
+from repro.bdd.manager import FALSE, TRUE, BDDManager
+
+from tests.strategies import BOOLEXPR_NAMES, boolexprs, build_bdd
+
+
+def truth_table(manager: BDDManager, node: int) -> tuple[bool, ...]:
+    """Exhaustive evaluation over the shared five-variable space."""
+    return tuple(
+        manager.evaluate(node, dict(zip(BOOLEXPR_NAMES, values)))
+        for values in itertools.product(
+            (False, True), repeat=len(BOOLEXPR_NAMES)
+        )
+    )
+
+
+def fresh_manager(**kwargs) -> BDDManager:
+    return BDDManager(BOOLEXPR_NAMES, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Reference counting
+# ----------------------------------------------------------------------
+class TestRefcounts:
+    def test_function_handles_take_and_release_references(self):
+        m = fresh_manager()
+        f = Function(m, m.apply_and(m.var("a"), m.var("b")))
+        node = f.node
+        assert m.ref_count(node) == 1
+        g = Function(m, node)
+        assert m.ref_count(node) == 2
+        del g
+        assert m.ref_count(node) == 1
+        del f
+        assert m.ref_count(node) == 0
+
+    def test_terminals_are_never_counted(self):
+        m = fresh_manager()
+        t = Function.true(m)
+        z = Function.false(m)
+        assert m.ref_count(TRUE) == 0
+        assert m.ref_count(FALSE) == 0
+        assert m.incref(TRUE) == TRUE
+        m.decref(FALSE)  # no-op, no error
+        del t, z
+
+    def test_decref_is_lenient_on_over_release(self):
+        m = fresh_manager()
+        node = m.var("a")
+        m.decref(node)  # never incref'd: must not raise
+        m.incref(node)
+        m.decref(node)
+        m.decref(node)  # second release of a single ref: still fine
+        assert m.ref_count(node) == 0
+
+
+# ----------------------------------------------------------------------
+# Garbage collection
+# ----------------------------------------------------------------------
+class TestGC:
+    def test_dead_nodes_are_reclaimed_and_slots_reused(self):
+        m = fresh_manager()
+        # A chain of XORs with no external references is pure garbage.
+        acc = m.var("a")
+        for name in ("b", "c", "d", "e"):
+            acc = m.apply_xor(acc, m.var(name))
+        allocated = m.num_nodes
+        assert m.num_live_nodes == allocated
+        freed = m.gc()
+        assert freed > 0
+        assert m.reclaimed_nodes == freed
+        assert m.gc_runs == 1
+        assert m.num_live_nodes == allocated - freed
+        # Rebuilding comparable structure reuses freed slots: the
+        # allocation high-water mark must not grow.
+        acc = m.var("e")
+        for name in ("d", "c", "b", "a"):
+            acc = m.apply_xor(acc, m.var(name))
+        assert m.num_nodes <= allocated
+
+    def test_live_roots_survive_with_stable_ids(self):
+        m = fresh_manager()
+        kept = Function(m, build_bdd(m, ("xor", ("and", "a", "b"), "c")))
+        node_before = kept.node
+        table_before = truth_table(m, kept.node)
+        # garbage alongside the root
+        build_bdd(m, ("or", ("not", "d"), ("and", "e", "a")))
+        m.gc()
+        assert kept.node == node_before
+        assert truth_table(m, kept.node) == table_before
+
+    def test_gc_without_roots_drops_every_internal_node(self):
+        m = fresh_manager()
+        build_bdd(m, ("and", ("or", "a", "b"), ("xor", "c", "d")))
+        m.gc()
+        assert m.num_live_nodes == 2  # just the terminals
+
+    def test_unique_table_is_canonical_after_gc(self):
+        m = fresh_manager()
+        kept = Function(m, m.apply_and(m.var("a"), m.var("b")))
+        build_bdd(m, ("xor", ("or", "c", "d"), "e"))  # garbage
+        m.gc()
+        # The same function must resolve to the very same node id —
+        # survivors stay registered in the rebuilt unique table.
+        assert m.apply_and(m.var("a"), m.var("b")) == kept.node
+
+    def test_repeated_gc_is_idempotent_on_a_clean_store(self):
+        m = fresh_manager()
+        kept = Function(m, build_bdd(m, ("or", "a", ("not", "b"))))
+        m.gc()
+        live = m.num_live_nodes
+        assert m.gc() == 0
+        assert m.num_live_nodes == live
+        del kept
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        exprs=st.lists(boolexprs(), min_size=1, max_size=6),
+        keep_mask=st.lists(st.booleans(), min_size=6, max_size=6),
+    )
+    def test_live_roots_evaluate_identically_before_and_after_gc(
+        self, exprs, keep_mask
+    ):
+        m = fresh_manager()
+        handles = [Function(m, build_bdd(m, e)) for e in exprs]
+        kept = [h for h, keep in zip(handles, keep_mask) if keep]
+        if not kept:  # always keep at least one root
+            kept = [handles[0]]
+        expected = [(h.node, truth_table(m, h.node)) for h in kept]
+        dropped = [h for h in handles if h not in kept]
+        del handles
+        for h in dropped:
+            del h
+        del dropped
+        m.gc()
+        for handle, (node_before, table_before) in zip(kept, expected):
+            assert handle.node == node_before
+            assert truth_table(m, handle.node) == table_before
+
+    @settings(max_examples=40, deadline=None)
+    @given(exprs=st.lists(boolexprs(), min_size=1, max_size=5))
+    def test_interleaved_ops_and_gc_match_a_gc_free_oracle(self, exprs):
+        noisy = fresh_manager()
+        oracle = fresh_manager()
+        for expr in exprs:
+            kept = Function(noisy, build_bdd(noisy, expr))
+            noisy.gc()  # collect between every build
+            assert truth_table(noisy, kept.node) == truth_table(
+                oracle, build_bdd(oracle, expr)
+            )
+            del kept
+
+
+# ----------------------------------------------------------------------
+# Memo / computed-table invalidation across collections
+# ----------------------------------------------------------------------
+class TestMemoInvalidation:
+    def test_stale_computed_entries_never_alias_reused_slots(self):
+        m = fresh_manager()
+        # Root the literals themselves; only the AND node is garbage.
+        lit_a, lit_b = Function(m, m.var("a")), Function(m, m.var("b"))
+        a, b = lit_a.node, lit_b.node
+        dead = m.apply_and(a, b)  # cached under (OP_AND, a, b)
+        dead_table = truth_table(m, dead)
+        m.gc()  # the AND node has no external refs and dies
+        assert (OP_AND, min(a, b), max(a, b)) not in m._cache.data
+        # Fill the freed slot with a *different* node, then redo the
+        # AND: a stale cache entry would now hand back the impostor.
+        m.apply_or(m.var("c"), m.var("d"))
+        again = m.apply_and(a, b)
+        assert truth_table(m, again) == dead_table
+
+    def test_involution_priming_is_invalidated_with_its_node(self):
+        m = fresh_manager()
+        f = Function(m, build_bdd(m, ("or", "a", ("and", "b", "c"))))
+        negated = m.apply_not(f.node)  # primes (OP_NOT, negated) -> f
+        m.gc()  # negation had no external ref: both entries must go
+        assert (OP_NOT, f.node) not in m._cache.data
+        assert (OP_NOT, negated) not in m._cache.data
+        assert truth_table(m, m.apply_not(f.node)) == tuple(
+            not v for v in truth_table(m, f.node)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(expr=boolexprs())
+    def test_satcount_memo_survives_gc_for_live_roots(self, expr):
+        m = fresh_manager()
+        f = Function(m, build_bdd(m, expr))
+        count_before = f.satcount()
+        density_before = f.density()
+        m.gc()
+        # The memo may only retain live ids...
+        level = m._level
+        assert all(level[u] != -1 for u in m._count_memo)
+        # ...and must still answer identically for the surviving root.
+        assert f.satcount() == count_before
+        assert f.density() == density_before
+        assert f.satcount() == sum(truth_table(m, f.node))
+
+    def test_satcount_memo_drops_dead_roots(self):
+        m = fresh_manager()
+        dead = build_bdd(m, ("xor", "a", ("and", "b", "c")))
+        m.satcount(dead)  # populate the memo
+        m.gc()
+        assert dead not in m._count_memo
+
+
+# ----------------------------------------------------------------------
+# Bounded operation cache
+# ----------------------------------------------------------------------
+class TestBoundedCache:
+    def test_cache_size_stays_within_bound(self):
+        m = fresh_manager(cache_size=32)
+        for expr_vars in itertools.permutations(BOOLEXPR_NAMES, 3):
+            build_bdd(m, ("xor", ("and", *expr_vars[:2]), expr_vars[2]))
+            assert len(m._cache) <= 32
+
+    def test_eviction_counters_increment(self):
+        m = fresh_manager(cache_size=8)
+        for expr_vars in itertools.permutations(BOOLEXPR_NAMES, 3):
+            build_bdd(m, ("or", ("xor", *expr_vars[:2]), expr_vars[2]))
+        stats = m.stats()
+        assert stats.cache_evictions > 0
+        assert stats.cache_bound == 8
+        assert sum(op.evictions for op in stats.op_stats) == (
+            stats.cache_evictions
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(exprs=st.lists(boolexprs(), min_size=1, max_size=5))
+    def test_eviction_never_returns_a_wrong_result(self, exprs):
+        # A pathologically tiny cache evicts constantly; results must
+        # still match an effectively unbounded manager bit for bit.
+        tiny = fresh_manager(cache_size=4)
+        roomy = fresh_manager()
+        for expr in exprs:
+            assert truth_table(tiny, build_bdd(tiny, expr)) == truth_table(
+                roomy, build_bdd(roomy, expr)
+            )
+
+    def test_clear_preserves_counters_but_drops_entries(self):
+        m = fresh_manager()
+        build_bdd(m, ("and", ("or", "a", "b"), "c"))
+        misses_before = m.stats().cache_misses
+        assert misses_before > 0
+        m.clear_caches()
+        stats = m.stats()
+        assert stats.cache_entries == 0
+        assert stats.cache_misses == misses_before
+
+
+# ----------------------------------------------------------------------
+# Telemetry plumbing
+# ----------------------------------------------------------------------
+class TestManagerStats:
+    def test_stats_snapshot_is_consistent(self):
+        m = fresh_manager()
+        f = Function(m, build_bdd(m, ("xor", ("or", "a", "b"), "c")))
+        build_bdd(m, ("and", "d", "e"))  # garbage
+        m.gc()
+        stats = m.stats()
+        assert stats.live_nodes == m.num_live_nodes
+        assert stats.allocated_nodes == m.num_nodes
+        assert stats.live_nodes <= stats.allocated_nodes
+        assert stats.gc_runs == 1
+        assert stats.reclaimed_nodes == m.reclaimed_nodes > 0
+        assert 0.0 <= stats.cache_hit_rate <= 1.0
+        lookups = stats.cache_hits + stats.cache_misses
+        assert lookups == sum(
+            op.hits + op.misses for op in stats.op_stats
+        )
+        del f
+
+    def test_stats_are_picklable_for_worker_transport(self):
+        m = fresh_manager()
+        build_bdd(m, ("or", ("and", "a", "b"), ("xor", "c", "d")))
+        stats = m.stats()
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone == stats
+
+    def test_per_op_counters_name_every_op(self):
+        cache = OperationCache(bound=16)
+        assert len(cache.op_stats()) == len(OP_NAMES)
+        m = fresh_manager()
+        m.restrict(build_bdd(m, ("xor", "a", "b")), "a", True)
+        by_name = {op.op: op for op in m.stats().op_stats}
+        assert by_name["restrict"].lookups > 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -15,11 +15,13 @@ import os
 import pytest
 
 from repro.benchcircuits import get_circuit
+from repro.circuit.netlist import CircuitError
 from repro.experiments import campaigns, parallel
 from repro.experiments.campaigns import CampaignResult
 from repro.experiments.config import get_scale
 from repro.faults.bridging import BridgeKind, enumerate_nfbfs
-from repro.faults.stuck_at import collapsed_checkpoint_faults
+from repro.faults.lines import Line
+from repro.faults.stuck_at import StuckAtFault, collapsed_checkpoint_faults
 
 pytestmark = pytest.mark.parallel
 
@@ -195,6 +197,39 @@ def test_clear_campaign_caches_retires_worker_pool():
     )
     new_pids = {s.worker_pid for s in again.chunk_stats}
     assert new_pids.isdisjoint(old_pids), "stale pool worker reused"
+    assert again.results == _serial_reference("c95", "stuck_at").results
+
+
+def test_failed_chunk_retires_pool_without_leaking_workers():
+    """Regression: a chunk that raises mid-campaign used to leave the
+    cached pool alive with the remaining chunks still queued. The
+    driver must surface the worker's exception, cancel the queue, and
+    retire every worker so the next campaign starts clean."""
+    campaigns.clear_campaign_caches()
+    circuit, faults = _fault_list("c95", "stuck_at")
+    poisoned = list(faults)
+    # Picklable but unanalyzable: the net does not exist in the circuit,
+    # so the worker holding this chunk raises CircuitError.
+    poisoned[len(poisoned) // 2] = StuckAtFault(Line("no_such_net"), True)
+    parallel.run_campaign(  # warm the pool first
+        circuit, "c95", SCALE, faults, bridging=False, n_workers=2
+    )
+    old_pids = parallel.pool_pids()
+    assert old_pids
+    with pytest.raises(CircuitError, match="no_such_net"):
+        parallel.run_campaign(
+            circuit, "c95", SCALE, poisoned, bridging=False, n_workers=2
+        )
+    assert parallel._pool is None
+    assert not parallel.pool_pids()
+    for pid in old_pids:  # shutdown(wait=True) reaped every worker
+        with pytest.raises(ProcessLookupError):
+            os.kill(pid, 0)
+    # A follow-up campaign rebuilds the pool and is still correct.
+    again = parallel.run_campaign(
+        circuit, "c95", SCALE, faults, bridging=False, n_workers=2
+    )
+    assert {s.worker_pid for s in again.chunk_stats}.isdisjoint(old_pids)
     assert again.results == _serial_reference("c95", "stuck_at").results
 
 

@@ -58,6 +58,42 @@ class TestTransfer:
         assert transfer(src, TRUE, dst) == TRUE
 
 
+class TestDeepChains:
+    """Regression: transfer used to recurse once per BDD level, so any
+    diagram deeper than Python's recursion limit (cut-point
+    decomposition routinely produces these) crashed with RecursionError.
+    The iterative rewrite must handle chains far past that limit."""
+
+    DEPTH = 3000  # ~3x the default recursion limit
+
+    def _chain(self, manager: BDDManager, names) -> int:
+        # Conjoin bottom-up (last variable first) so each apply_and only
+        # prepends one level — O(1) recursion per step while the
+        # *diagram* grows DEPTH levels deep.
+        node = TRUE
+        for name in reversed(names):
+            node = manager.apply_and(manager.var(name), node)
+        return node
+
+    def test_transfer_survives_a_chain_past_the_recursion_limit(self):
+        names = [f"v{i:04d}" for i in range(self.DEPTH)]
+        src = BDDManager(names)
+        dst = BDDManager(names)
+        node = self._chain(src, names)
+        moved = transfer(src, node, dst)
+        all_true = {name: True for name in names}
+        assert dst.evaluate(moved, all_true)
+        for flipped in (names[0], names[self.DEPTH // 2], names[-1]):
+            assert not dst.evaluate(moved, {**all_true, flipped: False})
+
+    def test_deep_chain_roundtrip_is_identity(self):
+        names = [f"v{i:04d}" for i in range(self.DEPTH)]
+        src = BDDManager(names)
+        dst = BDDManager(names)
+        node = self._chain(src, names)
+        assert transfer(dst, transfer(src, node, dst), src) == node
+
+
 class TestFunctionsEqual:
     def test_across_managers(self):
         m1 = BDDManager(["a", "b", "c"])
@@ -70,6 +106,37 @@ class TestFunctionsEqual:
     def test_same_manager_fast_path(self):
         m = BDDManager(["a"])
         assert functions_equal(m, m.var("a"), m, m.var("a"))
+
+    def test_variable_name_mismatch_raises_clear_diagnostic(self):
+        """Disjoint variable vocabularies are a caller bug, reported
+        up front with both managers' missing names — not an opaque
+        'unknown variable' from deep inside transfer."""
+        m1 = BDDManager(["a", "b"])
+        m2 = BDDManager(["a", "x"])
+        f1 = m1.apply_and(m1.var("a"), m1.var("b"))
+        f2 = m2.apply_and(m2.var("a"), m2.var("x"))
+        with pytest.raises(BDDError) as excinfo:
+            functions_equal(m1, f1, m2, f2)
+        message = str(excinfo.value)
+        assert "first manager lacks ['x']" in message
+        assert "second manager lacks ['b']" in message
+        assert "rename" in message  # points at the escape hatch
+
+    def test_one_sided_mismatch_names_only_the_lacking_side(self):
+        m1 = BDDManager(["a", "b"])
+        m2 = BDDManager(["a"])
+        f1 = m1.apply_and(m1.var("a"), m1.var("b"))
+        with pytest.raises(BDDError, match=r"second manager lacks \['b'\]"):
+            functions_equal(m1, f1, m2, m2.var("a"))
+
+    def test_extra_declared_variables_outside_support_are_fine(self):
+        """Only *support* variables must be shared; unused declarations
+        may differ between the managers."""
+        m1 = BDDManager(["a", "b", "z1"])
+        m2 = BDDManager(["b", "a", "z2"])
+        f1 = m1.apply_xor(m1.var("a"), m1.var("b"))
+        f2 = m2.apply_xor(m2.var("a"), m2.var("b"))
+        assert functions_equal(m1, f1, m2, f2)
 
 
 class TestReorder:
