@@ -1,6 +1,9 @@
 PYTHON ?= python
 
-.PHONY: install test test-all test-parallel test-gc bench bench-parallel bench-gc experiments experiments-paper examples clean
+.PHONY: install test test-all test-parallel test-gc verify verify-full coverage bench bench-parallel bench-gc experiments experiments-paper examples clean
+
+# line-coverage floor enforced on the core engine and the verify layer
+COV_FLOOR ?= 80
 
 install:
 	pip install -e .
@@ -16,6 +19,20 @@ test-parallel:
 
 test-gc:
 	$(PYTHON) -m pytest tests/test_bdd_gc.py tests/test_gc_campaigns.py -m "" -v
+
+verify:
+	$(PYTHON) -m repro.verify --scale ci
+
+verify-full:
+	$(PYTHON) -m repro.verify --scale full
+
+coverage:
+	@$(PYTHON) -c "import pytest_cov" 2>/dev/null || \
+		{ echo "pytest-cov is not installed; run 'pip install pytest-cov'" \
+		  "(or 'pip install -e .[dev]') first"; exit 1; }
+	$(PYTHON) -m pytest tests/ -m "not slow" \
+		--cov=repro.core --cov=repro.verify \
+		--cov-report=term-missing --cov-fail-under=$(COV_FLOOR)
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

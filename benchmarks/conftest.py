@@ -8,10 +8,18 @@ rendering to ``results/``.
 
 Scale selection follows the experiment suite: ``REPRO_SCALE=paper``
 for full fault sets, default ``ci`` for the sampled profile.
+
+Every source of randomness — fault sampling inside campaign scales,
+ad-hoc ``random.Random`` draws in individual benches, numpy pattern
+generators — derives from the single ``REPRO_SEED`` environment
+variable (default 0), so one knob reproduces an entire benchmark run.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import os
+import random
 import sys
 from pathlib import Path
 
@@ -23,10 +31,30 @@ from repro.experiments.config import get_scale
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
+REPRO_SEED = int(os.environ.get("REPRO_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def repro_seed() -> int:
+    """The run's master seed; every bench-local RNG must derive from it."""
+    return REPRO_SEED
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _seed_global_rngs():
+    """Pin the module-level RNGs for anything not taking an explicit seed."""
+    random.seed(REPRO_SEED)
+    try:
+        import numpy
+    except ImportError:
+        pass
+    else:
+        numpy.random.seed(REPRO_SEED)
+
 
 @pytest.fixture(scope="session")
 def scale():
-    return get_scale()
+    return dataclasses.replace(get_scale(), seed=REPRO_SEED)
 
 
 @pytest.fixture(scope="session")

@@ -21,16 +21,16 @@ from repro.faults import collapsed_checkpoint_faults
 _SAMPLES = {"c1908": 6, "c1355": 12}
 
 
-def _sample(circuit, count):
+def _sample(circuit, count, seed):
     faults = collapsed_checkpoint_faults(circuit)
-    return sorted(random.Random(0).sample(faults, count))
+    return sorted(random.Random(seed).sample(faults, count))
 
 
 @pytest.mark.benchmark(group="ordering-ablation")
 @pytest.mark.parametrize("name", sorted(_SAMPLES))
-def test_declared_order(benchmark, name):
+def test_declared_order(benchmark, name, repro_seed):
     circuit = get_circuit(name)
-    faults = _sample(circuit, _SAMPLES[name])
+    faults = _sample(circuit, _SAMPLES[name], repro_seed)
 
     def campaign():
         engine = DifferencePropagation(circuit)
@@ -42,9 +42,9 @@ def test_declared_order(benchmark, name):
 
 @pytest.mark.benchmark(group="ordering-ablation")
 @pytest.mark.parametrize("name", sorted(_SAMPLES))
-def test_dfs_order(benchmark, name):
+def test_dfs_order(benchmark, name, repro_seed):
     circuit = get_circuit(name)
-    faults = _sample(circuit, _SAMPLES[name])
+    faults = _sample(circuit, _SAMPLES[name], repro_seed)
     order = dfs_fanin_order(circuit)
 
     def campaign():
@@ -57,10 +57,10 @@ def test_dfs_order(benchmark, name):
 
 
 @pytest.mark.benchmark(group="ordering-ablation")
-def test_orders_agree_on_results(benchmark):
+def test_orders_agree_on_results(benchmark, repro_seed):
     """Rider: ordering must never change a computed detectability."""
     circuit = get_circuit("c499")
-    faults = _sample(circuit, 20)
+    faults = _sample(circuit, 20, repro_seed)
     declared = DifferencePropagation(circuit)
     dfs = DifferencePropagation(
         circuit,

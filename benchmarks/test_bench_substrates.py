@@ -62,9 +62,11 @@ def test_difference_propagation_c432_where_exhaustive_cannot(benchmark):
 
 
 @pytest.mark.benchmark(group="monte-carlo")
-def test_random_pattern_simulation_c432(benchmark):
+def test_random_pattern_simulation_c432(benchmark, repro_seed):
     circuit = get_circuit("c432")
-    simulator = RandomPatternSimulator(circuit, num_patterns=1024, seed=0)
+    simulator = RandomPatternSimulator(
+        circuit, num_patterns=1024, seed=repro_seed
+    )
     faults = collapsed_checkpoint_faults(circuit)[:60]
 
     def campaign():

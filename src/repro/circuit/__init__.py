@@ -22,6 +22,8 @@ from repro.circuit.iscas import parse_bench, parse_bench_file, write_bench
 from repro.circuit.transforms import (
     decompose_to_two_input,
     expand_xor_to_nand,
+    insert_buffers,
+    permute_inputs,
 )
 from repro.circuit.layout import estimate_coordinates, wire_distance
 from repro.circuit.equivalence import EquivalenceReport, circuits_equivalent
@@ -39,6 +41,8 @@ __all__ = [
     "write_bench",
     "decompose_to_two_input",
     "expand_xor_to_nand",
+    "insert_buffers",
+    "permute_inputs",
     "estimate_coordinates",
     "wire_distance",
     "EquivalenceReport",

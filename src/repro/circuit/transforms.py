@@ -11,15 +11,26 @@ Two transforms from the paper:
   ("C1355 is identical to C499 except with Exclusive-ORs expanded into
   their four-nand equivalents").
 
-Both transforms preserve every original net name (primary inputs,
+And two equivalence-preserving transforms backing the metamorphic
+conformance suite (:mod:`repro.verify.metamorphic`):
+
+* :func:`insert_buffers` — interpose a buffer between every gate-driven
+  net and its sinks;
+* :func:`permute_inputs` — re-declare the primary inputs in a different
+  order (changing the OBDD variable order and truth-table vector
+  indexing, but no function).
+
+All four transforms preserve every original net name (primary inputs,
 outputs, and each original gate's output), so fault sites and analysis
 results remain addressable across the transform.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.circuit.gates import GateType
-from repro.circuit.netlist import Circuit
+from repro.circuit.netlist import Circuit, CircuitError
 
 
 def _fresh(circuit: Circuit, base: str) -> str:
@@ -100,5 +111,68 @@ def expand_xor_to_nand(circuit: Circuit, name: str | None = None) -> Circuit:
             y = result.add_gate(_fresh(result, gate.name), GateType.NAND, (ta, tb))
             result.add_gate(gate.name, GateType.NOT, (y,))
     for net in two_input.outputs:
+        result.add_output(net)
+    return result
+
+
+def insert_buffers(circuit: Circuit, name: str | None = None) -> Circuit:
+    """Interpose a buffer between every gate-driven net and its sinks.
+
+    Each gate output ``x`` that feeds further gates gains a companion
+    ``x__buf = BUF(x)``, and every sink of ``x`` reads ``x__buf``
+    instead. Primary outputs keep reading the original nets, so the
+    functions of all original nets — and hence the detectability of
+    every stem fault on them — are untouched while the netlist grows.
+    Branch fault sites move to the buffer nets (the original
+    ``(net, sink, pin)`` connection no longer exists).
+    """
+    result = Circuit(name or f"{circuit.name}_buf")
+    for net in circuit.inputs:
+        result.add_input(net)
+    buffered: dict[str, str] = {}
+
+    def tap(net: str) -> str:
+        """The buffered alias of ``net``, creating it on first use."""
+        if net not in buffered:
+            if circuit.is_input(net):
+                buffered[net] = net  # PIs feed sinks directly
+            else:
+                alias = _fresh(result, f"{net}__buf")
+                result.add_gate(alias, GateType.BUF, (net,))
+                buffered[net] = alias
+        return buffered[net]
+
+    for gate in circuit.gates():
+        result.add_gate(gate.name, gate.gate_type, [tap(f) for f in gate.fanins])
+    for net in circuit.outputs:
+        result.add_output(net)
+    return result
+
+
+def permute_inputs(
+    circuit: Circuit,
+    order: Sequence[str] | None = None,
+    name: str | None = None,
+) -> Circuit:
+    """Re-declare the primary inputs in a different order.
+
+    Default ``order`` is the reverse of the declared one. The gate
+    network is untouched, so every net computes the same function; only
+    the declared PI order changes — which permutes OBDD variable orders
+    and truth-table vector indices, two representation choices no exact
+    fault measure may depend on.
+    """
+    if order is None:
+        order = tuple(reversed(circuit.inputs))
+    if sorted(order) != sorted(circuit.inputs):
+        raise CircuitError(
+            "input order must be a permutation of the primary inputs"
+        )
+    result = Circuit(name or f"{circuit.name}_perm")
+    for net in order:
+        result.add_input(net)
+    for gate in circuit.gates():
+        result.add_gate(gate.name, gate.gate_type, gate.fanins)
+    for net in circuit.outputs:
         result.add_output(net)
     return result

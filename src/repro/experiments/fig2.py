@@ -15,6 +15,7 @@ from repro.analysis.trends import detectability_trend, is_monotone_decreasing
 from repro.experiments.base import ExperimentResult
 from repro.experiments.campaigns import stuck_at_campaign
 from repro.experiments.config import Scale, get_scale
+from repro.verify.oracles import check_campaign
 
 
 def run_fig2(
@@ -24,6 +25,8 @@ def run_fig2(
     campaigns = []
     for name in scale.circuits:
         campaign = stuck_at_campaign(name, scale, workers=workers)
+        violations = check_campaign(campaign, engine=f"fig2:{name}")
+        assert not violations, "\n".join(str(v) for v in violations)
         campaigns.append((campaign.circuit, campaign.detectabilities()))
     points = detectability_trend(campaigns)
     rows = [

@@ -14,6 +14,7 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.campaigns import bridging_campaign, stuck_at_campaign
 from repro.experiments.config import Scale, get_scale
 from repro.faults.bridging import BridgeKind
+from repro.verify.oracles import check_campaign
 
 
 def run_fig7(
@@ -25,11 +26,12 @@ def run_fig7(
     for name in scale.circuits:
         pooled = []
         for kind in (BridgeKind.AND, BridgeKind.OR):
-            pooled.extend(
-                bridging_campaign(
-                    name, kind, scale, workers=workers
-                ).detectabilities()
+            campaign = bridging_campaign(name, kind, scale, workers=workers)
+            violations = check_campaign(
+                campaign, engine=f"fig7:{name}/{kind.value}"
             )
+            assert not violations, "\n".join(str(v) for v in violations)
+            pooled.extend(campaign.detectabilities())
         circuit = bridging_campaign(name, BridgeKind.AND, scale).circuit
         campaigns.append((circuit, pooled))
         stuck = stuck_at_campaign(name, scale, workers=workers)

@@ -91,6 +91,10 @@ def is_trivially_undetectable(
     here — it is genuinely detectable at the outputs themselves.
     """
     absorbing = _ABSORBING[kind]
+    if circuit.is_output(net_a) or circuit.is_output(net_b):
+        # the bridged value is read directly at a PO tap, which no
+        # absorbing sink can mask
+        return False
     sinks_a = circuit.fanouts(net_a)
     sinks_b = circuit.fanouts(net_b)
     if not sinks_a or not sinks_b:

@@ -131,7 +131,9 @@ def equivalence_classes(circuit: Circuit) -> dict[StuckAtFault, set[StuckAtFault
                 )
     for net in circuit.nets:
         fanouts = circuit.fanouts(net)
-        if len(fanouts) == 1:
+        # a PO tap is a second observation point: the stem fault flips
+        # it, the branch fault does not, so the two are inequivalent
+        if len(fanouts) == 1 and not circuit.is_output(net):
             sink, pin = fanouts[0]
             for value in (False, True):
                 uf.union(

@@ -71,6 +71,31 @@ class TruthTableSimulator:
         """Exact detection probability under uniform random vectors."""
         return Fraction(_popcount(self.detection_word(fault)), self.num_vectors)
 
+    def po_difference_words(
+        self, fault: StuckAtFault | BridgingFault
+    ) -> dict[str, int]:
+        """Per-PO difference words: bit v set iff vector v flips that PO.
+
+        The OR over the outputs is exactly :meth:`detection_word`; the
+        per-output view is the exhaustive-simulation counterpart of
+        Difference Propagation's PO difference functions.
+        """
+        faulty = _engine.faulty_pass(
+            self.circuit, self._good, injection_for(fault), self.mask
+        )
+        return {
+            po: (self._good[po] ^ faulty[po]) & self.mask
+            for po in self.circuit.outputs
+        }
+
+    def observable_pos(
+        self, fault: StuckAtFault | BridgingFault
+    ) -> frozenset[str]:
+        """Primary outputs at which some vector makes the fault visible."""
+        return frozenset(
+            po for po, word in self.po_difference_words(fault).items() if word
+        )
+
     def is_detectable(self, fault: StuckAtFault | BridgingFault) -> bool:
         return self.detection_word(fault) != 0
 

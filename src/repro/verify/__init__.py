@@ -1,0 +1,82 @@
+"""Metamorphic conformance subsystem: one verification surface.
+
+The paper's exact-by-construction claims become reusable,
+machine-checkable oracles here:
+
+* :mod:`~repro.verify.oracles` — per-fault invariant oracles over the
+  engine-agnostic :class:`~repro.verify.oracles.FaultReport` record
+  (δ ≤ U, |T| = δ·2^n, adherence ranges, PO feeding, redundancy ⇔
+  empty test set) plus cross-engine agreement;
+* :mod:`~repro.verify.metamorphic` — exact detectability invariance
+  under the library's name-preserving netlist transforms;
+* :mod:`~repro.verify.conformance` — the runner sweeping registered
+  engines × circuits × fault models into a
+  :class:`~repro.verify.conformance.ConformanceReport`;
+* :mod:`~repro.verify.seeded` — the defect-seeding self-check that
+  mutation-tests the oracles themselves.
+
+Run the whole wall with ``python -m repro.verify`` (nonzero exit on
+any violation or any surviving seeded defect) or ``make verify``.
+"""
+
+from repro.verify.conformance import (
+    ConformanceCell,
+    ConformanceReport,
+    ENGINES,
+    EngineSpec,
+    register_engine,
+    run_conformance,
+)
+from repro.verify.metamorphic import (
+    PAPER_TRANSFORMS,
+    RelationOutcome,
+    TRANSFORMS,
+    check_relation,
+    map_fault,
+    run_metamorphic,
+)
+from repro.verify.oracles import (
+    FaultReport,
+    ORACLES,
+    Violation,
+    check_campaign,
+    check_report,
+    check_reports,
+    cross_engine_violations,
+    report_from_analysis,
+    report_from_result,
+)
+from repro.verify.seeded import (
+    DEFECTS,
+    SeededDefect,
+    SeededReport,
+    run_seeded_self_check,
+)
+
+__all__ = [
+    "ConformanceCell",
+    "ConformanceReport",
+    "ENGINES",
+    "EngineSpec",
+    "register_engine",
+    "run_conformance",
+    "PAPER_TRANSFORMS",
+    "RelationOutcome",
+    "TRANSFORMS",
+    "check_relation",
+    "map_fault",
+    "run_metamorphic",
+    "FaultReport",
+    "ORACLES",
+    "Violation",
+    "check_campaign",
+    "check_report",
+    "check_reports",
+    "cross_engine_violations",
+    "report_from_analysis",
+    "report_from_result",
+    "DEFECTS",
+    "SeededDefect",
+    "SeededReport",
+    "run_seeded_self_check",
+]

@@ -1,0 +1,356 @@
+"""Composable invariant oracles over per-fault engine reports.
+
+The paper's claims are exact-by-construction, which makes them
+machine-checkable: a complete test set *is* the detectability (|T| =
+δ·2^n), a detectability can never exceed its syndrome bound, adherence
+lives in (0, 1], a fault is redundant exactly when its test set is
+empty, and a fault can only be observed at primary outputs its site
+structurally feeds. Each oracle here checks one such invariant over a
+:class:`FaultReport` — a neutral, engine-agnostic record that any
+engine (Difference Propagation, truth-table, deductive, or a future
+one) can produce — so the same verification surface serves unit tests,
+the conformance runner, the experiment campaigns and CI.
+
+Fields an engine cannot supply are left ``None`` and the oracles that
+need them skip; oracles that are only sound for exact analyses (no
+cut-point decomposition) skip when ``exact`` is false, mirroring the
+paper's own caveat that decomposed fractions "may not be completely
+accurate".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.analysis.observability import pos_fed_by_fault
+from repro.circuit.netlist import Circuit
+from repro.core.metrics import (
+    Fault,
+    FaultAnalysis,
+    detectability_upper_bound,
+)
+from repro.core.symbolic import CircuitFunctions
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """One engine's scalar claims about one fault.
+
+    ``num_vars`` is the size of the input space the fractions are
+    normalized over — primary inputs plus any cut-point
+    pseudo-variables. Optional fields are ``None`` when the engine
+    cannot produce them (e.g. deductive simulation reports no per-PO
+    observability and no syndrome bound).
+    """
+
+    engine: str
+    fault: Fault
+    detectability: Fraction
+    num_vars: int
+    upper_bound: Fraction | None = None
+    test_count: int | None = None
+    observable_pos: frozenset[str] | None = None
+    #: False when cut-point decomposition (or any other approximation)
+    #: was active; approximation-sensitive oracles then skip
+    exact: bool = True
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle's verdict that one report breaks one invariant."""
+
+    oracle: str
+    circuit: str
+    engine: str
+    fault: str
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.oracle}] {self.circuit}/{self.engine} "
+            f"{self.fault}: {self.message}"
+        )
+
+
+#: An oracle inspects one report and returns a violation message (or
+#: ``None``). Oracles must be pure and total: unsupplied fields skip.
+Oracle = Callable[[Circuit, FaultReport], "str | None"]
+
+ORACLES: dict[str, Oracle] = {}
+
+
+def oracle(name: str) -> Callable[[Oracle], Oracle]:
+    """Register an invariant oracle under ``name``."""
+
+    def register(fn: Oracle) -> Oracle:
+        ORACLES[name] = fn
+        return fn
+
+    return register
+
+
+@oracle("detectability-range")
+def _detectability_range(circuit: Circuit, report: FaultReport) -> str | None:
+    """δ is a probability: 0 ≤ δ ≤ 1."""
+    d = report.detectability
+    if not (0 <= d <= 1):
+        return f"detectability {d} outside [0, 1]"
+    return None
+
+
+@oracle("bound-range")
+def _bound_range(circuit: Circuit, report: FaultReport) -> str | None:
+    """The syndrome-based upper bound is a probability too."""
+    u = report.upper_bound
+    if u is not None and not (0 <= u <= 1):
+        return f"upper bound {u} outside [0, 1]"
+    return None
+
+
+@oracle("detectability-bound")
+def _detectability_bound(circuit: Circuit, report: FaultReport) -> str | None:
+    """δ ≤ U: a test must excite the fault (paper §3). Exact-only."""
+    u = report.upper_bound
+    if u is None or not report.exact:
+        return None
+    if report.detectability > u:
+        return f"detectability {report.detectability} exceeds bound {u}"
+    return None
+
+
+@oracle("adherence-range")
+def _adherence_range(circuit: Circuit, report: FaultReport) -> str | None:
+    """a = δ/U ∈ [0, 1] when U > 0; U = 0 forces δ = 0 (unexcitable)."""
+    u = report.upper_bound
+    if u is None or not report.exact:
+        return None
+    if u == 0:
+        if report.detectability != 0:
+            return (
+                f"unexcitable fault (bound 0) reported detectable "
+                f"(δ = {report.detectability})"
+            )
+        return None
+    a = report.detectability / u
+    if not (0 <= a <= 1):
+        return f"adherence {a} outside [0, 1]"
+    return None
+
+
+@oracle("minterm-count")
+def _minterm_count(circuit: Circuit, report: FaultReport) -> str | None:
+    """|T| = δ·2^n: the complete test set *is* the detectability."""
+    if report.test_count is None:
+        return None
+    expected = report.detectability * (1 << report.num_vars)
+    if report.test_count != expected:
+        return (
+            f"test count {report.test_count} != detectability * 2^n "
+            f"= {expected}"
+        )
+    return None
+
+
+@oracle("po-feed")
+def _po_feed(circuit: Circuit, report: FaultReport) -> str | None:
+    """Observable POs are a subset of the POs the fault site feeds."""
+    if report.observable_pos is None:
+        return None
+    fed = pos_fed_by_fault(circuit, report.fault)
+    stray = report.observable_pos - fed
+    if stray:
+        return (
+            f"observable at {sorted(stray)} which the fault site does "
+            f"not structurally feed (feeds {sorted(fed)})"
+        )
+    return None
+
+
+@oracle("redundancy")
+def _redundancy(circuit: Circuit, report: FaultReport) -> str | None:
+    """Redundant ⇔ empty test set ⇔ observable nowhere."""
+    detectable = report.detectability > 0
+    if report.test_count is not None and detectable != (report.test_count > 0):
+        return (
+            f"detectability {report.detectability} inconsistent with "
+            f"test count {report.test_count}"
+        )
+    if report.observable_pos is not None and detectable != bool(
+        report.observable_pos
+    ):
+        return (
+            f"detectability {report.detectability} inconsistent with "
+            f"observable POs {sorted(report.observable_pos)}"
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Checking entry points
+# ----------------------------------------------------------------------
+def check_report(
+    circuit: Circuit,
+    report: FaultReport,
+    oracles: Mapping[str, Oracle] | None = None,
+) -> list[Violation]:
+    """Run every (selected) oracle against one report."""
+    violations: list[Violation] = []
+    for name, fn in (oracles or ORACLES).items():
+        message = fn(circuit, report)
+        if message is not None:
+            violations.append(
+                Violation(
+                    oracle=name,
+                    circuit=circuit.name,
+                    engine=report.engine,
+                    fault=str(report.fault),
+                    message=message,
+                )
+            )
+    return violations
+
+
+def check_reports(
+    circuit: Circuit,
+    reports: Iterable[FaultReport],
+    oracles: Mapping[str, Oracle] | None = None,
+) -> list[Violation]:
+    """Run the oracle set over a whole report list."""
+    violations: list[Violation] = []
+    for report in reports:
+        violations.extend(check_report(circuit, report, oracles))
+    return violations
+
+
+def cross_engine_violations(
+    circuit: Circuit,
+    reports_by_engine: Mapping[str, Sequence[FaultReport]],
+) -> list[Violation]:
+    """Exact per-fault agreement between independent engines.
+
+    Detectabilities must match fault-for-fault; test counts and
+    observable-PO sets must match wherever both engines supply them.
+    Engines are compared pairwise against the first engine listed (the
+    relation is transitive, so one anchor suffices).
+    """
+    violations: list[Violation] = []
+    engines = list(reports_by_engine)
+    if len(engines) < 2:
+        return violations
+    anchor = engines[0]
+    by_fault = {r.fault: r for r in reports_by_engine[anchor]}
+    for other in engines[1:]:
+        for report in reports_by_engine[other]:
+            base = by_fault.get(report.fault)
+            if base is None:
+                continue
+            pair = f"{anchor} vs {other}"
+            if base.detectability != report.detectability:
+                violations.append(
+                    Violation(
+                        oracle="cross-engine-detectability",
+                        circuit=circuit.name,
+                        engine=pair,
+                        fault=str(report.fault),
+                        message=(
+                            f"{anchor} says {base.detectability}, "
+                            f"{other} says {report.detectability}"
+                        ),
+                    )
+                )
+            if (
+                base.test_count is not None
+                and report.test_count is not None
+                and base.num_vars == report.num_vars
+                and base.test_count != report.test_count
+            ):
+                violations.append(
+                    Violation(
+                        oracle="cross-engine-test-count",
+                        circuit=circuit.name,
+                        engine=pair,
+                        fault=str(report.fault),
+                        message=(
+                            f"{anchor} counts {base.test_count}, "
+                            f"{other} counts {report.test_count}"
+                        ),
+                    )
+                )
+            if (
+                base.observable_pos is not None
+                and report.observable_pos is not None
+                and base.observable_pos != report.observable_pos
+            ):
+                violations.append(
+                    Violation(
+                        oracle="cross-engine-observability",
+                        circuit=circuit.name,
+                        engine=pair,
+                        fault=str(report.fault),
+                        message=(
+                            f"{anchor} observes {sorted(base.observable_pos)}, "
+                            f"{other} observes {sorted(report.observable_pos)}"
+                        ),
+                    )
+                )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Report constructors
+# ----------------------------------------------------------------------
+def report_from_analysis(
+    engine: str,
+    analysis: FaultAnalysis,
+    functions: CircuitFunctions,
+) -> FaultReport:
+    """Reduce a Difference Propagation analysis to a checkable report."""
+    return FaultReport(
+        engine=engine,
+        fault=analysis.fault,
+        detectability=analysis.detectability,
+        num_vars=functions.num_vars,
+        upper_bound=detectability_upper_bound(functions, analysis.fault),
+        test_count=analysis.test_count(),
+        observable_pos=analysis.observable_pos,
+        exact=functions.is_exact,
+    )
+
+
+def report_from_result(engine: str, result, num_vars: int, exact: bool) -> FaultReport:
+    """Adapt a campaign ``FaultResult`` (scalar record, no test count)."""
+    return FaultReport(
+        engine=engine,
+        fault=result.fault,
+        detectability=result.detectability,
+        num_vars=num_vars,
+        upper_bound=result.upper_bound,
+        observable_pos=result.observable_pos,
+        exact=exact,
+    )
+
+
+def check_campaign(campaign, engine: str = "campaign") -> list[Violation]:
+    """Validate every record of a finished fault campaign.
+
+    Accepts any object with ``circuit``, ``results`` and ``exact``
+    attributes (duck-typed so the experiment layer stays above this
+    one). Campaign records carry no test counts, so the scalar subset
+    of the oracles applies: ranges, δ ≤ U, adherence, PO feeding, and
+    detectability/observability consistency.
+    """
+    circuit = campaign.circuit
+    num_vars = circuit.num_inputs
+    reports = [
+        report_from_result(engine, result, num_vars, campaign.exact)
+        for result in campaign.results
+    ]
+    return check_reports(circuit, reports)
+
+
+def perturbed(report: FaultReport, **changes) -> FaultReport:
+    """A copy of ``report`` with fields overridden (defect seeding)."""
+    return dataclasses.replace(report, **changes)

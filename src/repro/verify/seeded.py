@@ -1,0 +1,279 @@
+"""Seeded-defect self-check: prove the oracles can catch a lying engine.
+
+A conformance wall is only as good as its oracles, so this module
+mutation-tests them: wrap the Difference Propagation adapter so its
+reports carry one known defect — a flipped detection bit, an
+off-by-one satcount, a dropped PO, an under-reported bound, a fault
+declared redundant while still observable, a detectability above one —
+then run the ordinary conformance machinery (invariant oracles plus
+cross-engine comparison against the honest truth-table engine) and
+assert every seeded defect is caught by at least one oracle. A defect
+that survives means a blind spot in the verification surface, and
+``python -m repro.verify`` exits nonzero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Sequence
+
+from repro.benchcircuits import get_circuit
+from repro.circuit.netlist import Circuit
+from repro.core.symbolic import CircuitFunctions
+from repro.faults.stuck_at import collapsed_checkpoint_faults
+from repro.verify.conformance import ENGINES
+from repro.verify.oracles import (
+    FaultReport,
+    Violation,
+    check_reports,
+    cross_engine_violations,
+    perturbed,
+)
+
+#: A corruption takes the honest report list and returns it with one
+#: defect seeded; it must change at least one report.
+Corruption = Callable[[list[FaultReport]], list[FaultReport]]
+
+
+@dataclass(frozen=True)
+class SeededDefect:
+    """One known engine defect class and how to seed it."""
+
+    name: str
+    description: str
+    corrupt: Corruption
+
+
+def _replace_first(
+    reports: list[FaultReport],
+    predicate: Callable[[FaultReport], bool],
+    change: Callable[[FaultReport], FaultReport],
+) -> list[FaultReport]:
+    """Apply ``change`` to the first report satisfying ``predicate``."""
+    out = []
+    done = False
+    for report in reports:
+        if not done and predicate(report):
+            out.append(change(report))
+            done = True
+        else:
+            out.append(report)
+    if not done:
+        raise ValueError("no report matched the corruption predicate")
+    return out
+
+
+def _one_vector(report: FaultReport) -> Fraction:
+    return Fraction(1, 1 << report.num_vars)
+
+
+def _flip_detection_bit(reports: list[FaultReport]) -> list[FaultReport]:
+    """One extra (phantom) detecting vector, counted consistently.
+
+    Detectability and test count move together, so every single-report
+    invariant still holds — only the cross-engine comparison can see
+    that the claimed test set is not the circuit's.
+    """
+
+    def change(r: FaultReport) -> FaultReport:
+        return perturbed(
+            r,
+            detectability=r.detectability + _one_vector(r),
+            test_count=None if r.test_count is None else r.test_count + 1,
+        )
+
+    return _replace_first(reports, lambda r: r.detectability < 1, change)
+
+
+def _off_by_one_satcount(reports: list[FaultReport]) -> list[FaultReport]:
+    """|T| drifts from δ·2^n — the classic model-counting bug."""
+    return _replace_first(
+        reports,
+        lambda r: r.test_count is not None,
+        lambda r: perturbed(r, test_count=r.test_count + 1),
+    )
+
+
+def _drop_po(reports: list[FaultReport]) -> list[FaultReport]:
+    """A primary-output difference silently lost."""
+    return _replace_first(
+        reports,
+        lambda r: bool(r.observable_pos),
+        lambda r: perturbed(
+            r, observable_pos=frozenset(sorted(r.observable_pos)[1:])
+        ),
+    )
+
+
+def _underreport_bound(reports: list[FaultReport]) -> list[FaultReport]:
+    """The syndrome bound computed too small: δ > U."""
+    return _replace_first(
+        reports,
+        lambda r: r.detectability > 0 and r.upper_bound is not None,
+        lambda r: perturbed(r, upper_bound=r.detectability / 2),
+    )
+
+
+def _phantom_redundancy(reports: list[FaultReport]) -> list[FaultReport]:
+    """A detectable fault declared redundant, POs left behind."""
+    return _replace_first(
+        reports,
+        lambda r: r.detectability > 0 and bool(r.observable_pos),
+        lambda r: perturbed(r, detectability=Fraction(0), test_count=0),
+    )
+
+
+def _detectability_overflow(reports: list[FaultReport]) -> list[FaultReport]:
+    """δ escapes the probability range (an unnormalized count)."""
+
+    def change(r: FaultReport) -> FaultReport:
+        overflowed = Fraction(1) + _one_vector(r)
+        return perturbed(
+            r,
+            detectability=overflowed,
+            test_count=None
+            if r.test_count is None
+            else (1 << r.num_vars) + 1,
+        )
+
+    return _replace_first(reports, lambda r: True, change)
+
+
+DEFECTS: tuple[SeededDefect, ...] = (
+    SeededDefect(
+        "flip-detection-bit",
+        "one phantom detecting vector, δ and |T| moved consistently",
+        _flip_detection_bit,
+    ),
+    SeededDefect(
+        "off-by-one-satcount",
+        "|T| no longer equals δ·2^n",
+        _off_by_one_satcount,
+    ),
+    SeededDefect(
+        "drop-po",
+        "one observable primary output silently dropped",
+        _drop_po,
+    ),
+    SeededDefect(
+        "underreport-bound",
+        "syndrome upper bound below the true detectability",
+        _underreport_bound,
+    ),
+    SeededDefect(
+        "phantom-redundancy",
+        "detectable fault declared redundant while POs remain",
+        _phantom_redundancy,
+    ),
+    SeededDefect(
+        "detectability-overflow",
+        "detectability above one (unnormalized satcount)",
+        _detectability_overflow,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class DefectOutcome:
+    """Whether one seeded defect was caught, and by which oracles."""
+
+    defect: SeededDefect
+    caught: bool
+    oracles_fired: tuple[str, ...]
+    violations: tuple[Violation, ...]
+
+
+@dataclass(frozen=True)
+class SeededReport:
+    """Outcome of the whole self-check on one circuit."""
+
+    circuit: str
+    outcomes: tuple[DefectOutcome, ...]
+    #: violations raised against the *uncorrupted* reports — must be
+    #: empty, otherwise the self-check cannot distinguish signal from
+    #: baseline noise
+    baseline_violations: tuple[Violation, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.baseline_violations and all(
+            o.caught for o in self.outcomes
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"seeded-defect self-check on {self.circuit}: "
+            f"{len(self.outcomes)} defect classes",
+        ]
+        if self.baseline_violations:
+            lines.append(
+                f"  BASELINE NOT CLEAN: {len(self.baseline_violations)} "
+                "violations without any seeded defect"
+            )
+        for outcome in self.outcomes:
+            status = "caught" if outcome.caught else "SURVIVED"
+            via = (
+                f" by {', '.join(outcome.oracles_fired)}"
+                if outcome.oracles_fired
+                else ""
+            )
+            lines.append(
+                f"  {outcome.defect.name:<24} {status}{via}"
+            )
+        lines.append(
+            "every seeded defect caught"
+            if self.ok
+            else "SELF-CHECK FAILED: oracle blind spot or dirty baseline"
+        )
+        return "\n".join(lines)
+
+
+def _violations_against(
+    circuit: Circuit,
+    corrupted: list[FaultReport],
+    honest_other: dict[str, list[FaultReport]],
+) -> list[Violation]:
+    """Full oracle battery on one corrupted report list."""
+    found = check_reports(circuit, corrupted)
+    by_engine: dict[str, list[FaultReport]] = {"dp": corrupted}
+    by_engine.update(honest_other)
+    found.extend(cross_engine_violations(circuit, by_engine))
+    return found
+
+
+def run_seeded_self_check(
+    circuit_name: str = "c17",
+    defects: Sequence[SeededDefect] = DEFECTS,
+) -> SeededReport:
+    """Seed each defect into DP's reports and demand the wall holds."""
+    circuit = get_circuit(circuit_name)
+    functions = CircuitFunctions(circuit)
+    faults = collapsed_checkpoint_faults(circuit)
+    honest_dp = ENGINES["dp"].run(circuit, faults, functions)
+    honest_other: dict[str, list[FaultReport]] = {}
+    for name, spec in ENGINES.items():
+        if name != "dp" and spec.supports(circuit, faults):
+            honest_other[name] = spec.run(circuit, faults, functions)
+    baseline = _violations_against(circuit, honest_dp, honest_other)
+    outcomes: list[DefectOutcome] = []
+    for defect in defects:
+        corrupted = defect.corrupt(list(honest_dp))
+        if corrupted == honest_dp:
+            raise ValueError(
+                f"defect {defect.name!r} did not change any report"
+            )
+        violations = _violations_against(circuit, corrupted, honest_other)
+        outcomes.append(
+            DefectOutcome(
+                defect=defect,
+                caught=bool(violations),
+                oracles_fired=tuple(sorted({v.oracle for v in violations})),
+                violations=tuple(violations),
+            )
+        )
+    return SeededReport(
+        circuit=circuit_name,
+        outcomes=tuple(outcomes),
+        baseline_violations=tuple(baseline),
+    )

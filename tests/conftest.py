@@ -1,12 +1,29 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and Hypothesis profiles for the test suite.
+
+Two Hypothesis profiles are registered:
+
+* ``ci`` — derandomized (the seed is a pure function of each test,
+  so every CI run explores the identical example sequence) with no
+  deadline; select with ``HYPOTHESIS_PROFILE=ci``. The CI workflow
+  pins this so property-test failures reproduce across the matrix.
+* ``dev`` (default) — random exploration, no deadline (BDD campaigns
+  have highly variable per-example cost).
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.bdd import BDDManager, Function
 from repro.benchcircuits import get_circuit
 from repro.circuit import CircuitBuilder
+
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -34,12 +34,24 @@ def circuits(
     min_gates: int = 1,
     max_gates: int = 18,
     binary_gates: tuple[GateType, ...] = _BINARY_GATES,
+    min_outputs: int = 1,
+    reconvergent: bool | None = None,
 ) -> Circuit:
     """A random acyclic gate network with every net alive.
 
     Every gate picks fanins among all earlier nets, so insertion order
     is topological by construction; all sink-less nets become primary
     outputs, guaranteeing validity (no dead logic).
+
+    Two coverage knobs target the PO-feed/observability oracles, which
+    only bite on circuits with several outputs and reconvergent fanout:
+
+    * internal nets are sometimes promoted to *additional* primary
+      outputs (always at least ``min_outputs`` when enough nets exist),
+      so a net can both feed further logic and be directly observable;
+    * ``reconvergent`` forces (``True``), forbids (``False``) or draws
+      (``None``, the default) a guaranteed reconvergence gadget — one
+      stem fanning out into two gates that a later gate rejoins.
     """
     num_inputs = draw(st.integers(min_inputs, max_inputs))
     num_gates = draw(st.integers(min_gates, max_gates))
@@ -57,18 +69,64 @@ def circuits(
                 nets[draw(st.integers(0, len(nets) - 1))] for _ in range(arity)
             ]
         nets.append(builder.gate(gate_type, fanins, name=f"g{g}"))
+    if reconvergent is None:
+        reconvergent = draw(st.booleans())
+    if reconvergent:
+        stem = nets[draw(st.integers(0, len(nets) - 1))]
+        arms = []
+        for arm in ("rc_left", "rc_right"):
+            other = nets[draw(st.integers(0, len(nets) - 1))]
+            arms.append(
+                builder.gate(
+                    draw(st.sampled_from(binary_gates)), [stem, other], name=arm
+                )
+            )
+        nets.extend(arms)
+        nets.append(
+            builder.gate(
+                draw(st.sampled_from(binary_gates)), arms, name="rc_join"
+            )
+        )
     circuit = builder.build(validate=False)
     for net in circuit.nets:
         if not circuit.fanouts(net) and not circuit.is_input(net):
             circuit.add_output(net)
     if not circuit.outputs:
         circuit.add_output(nets[-1])
+    gate_nets = [n for n in circuit.nets if not circuit.is_input(n)]
+    promotable = [n for n in gate_nets if not circuit.is_output(n)]
+    if promotable:
+        extras = draw(
+            st.lists(st.sampled_from(promotable), unique=True, max_size=3)
+        )
+        for net in extras:
+            circuit.add_output(net)
+    while circuit.num_outputs < min_outputs:
+        remaining = [n for n in gate_nets if not circuit.is_output(n)]
+        if not remaining:
+            break
+        circuit.add_output(draw(st.sampled_from(remaining)))
     return circuit
 
 
 @st.composite
 def assignments(draw, circuit: Circuit) -> dict[str, bool]:
     return {net: draw(st.booleans()) for net in circuit.inputs}
+
+
+@st.composite
+def transformed_circuits(draw, **circuit_kwargs) -> tuple[Circuit, str, Circuit]:
+    """A circuit paired with one of its name-preserving rewrites.
+
+    Returns ``(original, transform_name, transformed)`` where the
+    transform is drawn from :data:`repro.verify.metamorphic.TRANSFORMS`
+    — the raw material of the metamorphic property tests.
+    """
+    from repro.verify.metamorphic import TRANSFORMS
+
+    circuit = draw(circuits(**circuit_kwargs))
+    name = draw(st.sampled_from(sorted(TRANSFORMS)))
+    return circuit, name, TRANSFORMS[name](circuit)
 
 
 #: Nested-tuple Boolean expression trees over a fixed variable set —

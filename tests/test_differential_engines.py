@@ -12,7 +12,10 @@ fault's detectability:
 
 They share no propagation code (BDD apply vs. integer words vs.
 frozenset algebra), so agreement on complete collapsed checkpoint sets
-is strong evidence all three are right. Small circuits are swept
+is strong evidence all three are right. The per-fault sweeps run
+through the shared conformance surface (:mod:`repro.verify`) — the
+engine adapters and oracles here are the exact ones CI's
+``python -m repro.verify`` gate uses. Small circuits are swept
 exhaustively; the 74LS181 runs a seeded fault/vector sample; a C432
 spot-check against concrete single-vector simulation is marked slow.
 """
@@ -20,31 +23,18 @@ spot-check against concrete single-vector simulation is marked slow.
 from __future__ import annotations
 
 import random
-from fractions import Fraction
 
 import pytest
 
 from repro.benchcircuits import get_circuit
 from repro.core.engine import DifferencePropagation
-from repro.faults.stuck_at import StuckAtFault, collapsed_checkpoint_faults
+from repro.core.symbolic import CircuitFunctions
+from repro.faults.stuck_at import collapsed_checkpoint_faults
 from repro.simulation import TruthTableSimulator, detects
 from repro.simulation.deductive import DeductiveFaultSimulator
+from repro.verify import ENGINES, check_reports, cross_engine_violations
 
 FULL_SWEEP_CIRCUITS = ("c17", "fulladder", "c95")
-
-
-def _deductive_detectabilities(
-    circuit, faults: list[StuckAtFault], vectors: range
-) -> dict[StuckAtFault, Fraction]:
-    """Exact detectabilities by counting per-vector deductive detections."""
-    sim = DeductiveFaultSimulator(circuit, faults)
-    tts = TruthTableSimulator(circuit)
-    counts: dict[StuckAtFault, int] = {fault: 0 for fault in faults}
-    for vector in vectors:
-        for fault in sim.detected(tts.assignment_for(vector)):
-            counts[fault] += 1
-    total = 2**circuit.num_inputs
-    return {fault: Fraction(n, total) for fault, n in counts.items()}
 
 
 @pytest.mark.parametrize("name", FULL_SWEEP_CIRCUITS)
@@ -54,20 +44,21 @@ def test_three_engines_agree_on_every_checkpoint_fault(name):
     faults = collapsed_checkpoint_faults(circuit)
     assert faults, "collapsed checkpoint set must be non-empty"
 
-    engine = DifferencePropagation(circuit)
-    tts = TruthTableSimulator(circuit)
-    deductive = _deductive_detectabilities(
-        circuit, faults, range(2**circuit.num_inputs)
-    )
+    functions = CircuitFunctions(circuit)
+    reports = {
+        engine: spec.run(circuit, faults, functions)
+        for engine, spec in ENGINES.items()
+        if spec.supports(circuit, faults)
+    }
+    assert set(reports) >= {"dp", "truthtable", "deductive"}
 
-    mismatches = []
-    for fault in faults:
-        dp = engine.analyze(fault).detectability
-        tt = tts.detectability(fault)
-        ded = deductive[fault]
-        if not (dp == tt == ded):
-            mismatches.append(f"{fault}: dp={dp} tt={tt} deductive={ded}")
-    assert not mismatches, "\n".join(mismatches)
+    violations = [
+        violation
+        for engine_reports in reports.values()
+        for violation in check_reports(circuit, engine_reports)
+    ]
+    violations.extend(cross_engine_violations(circuit, reports))
+    assert not violations, "\n".join(str(v) for v in violations)
 
 
 @pytest.mark.parametrize("name", FULL_SWEEP_CIRCUITS)

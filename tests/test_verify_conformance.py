@@ -1,0 +1,123 @@
+"""Conformance sweep, seeded defect self-check, and the verify CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.conformance import (
+    ENGINES,
+    EngineSpec,
+    SWEEPS,
+    register_engine,
+    run_conformance,
+)
+from repro.verify.seeded import DEFECTS, run_seeded_self_check
+
+
+def test_builtin_engine_registry():
+    assert {"dp", "truthtable", "deductive"} <= set(ENGINES)
+    for spec in ENGINES.values():
+        assert callable(spec.run) and callable(spec.supports)
+
+
+def test_register_engine_rejects_duplicates():
+    with pytest.raises(ValueError):
+        register_engine(ENGINES["dp"])
+
+
+def test_register_and_unregister_custom_engine():
+    spec = EngineSpec(
+        name="custom-for-test",
+        run=ENGINES["dp"].run,
+        supports=lambda circuit, faults: False,
+    )
+    register_engine(spec)
+    try:
+        assert "custom-for-test" in ENGINES
+        report = run_conformance(sweep="ci", circuits=("c17",))
+        # supports() returned False: the engine must appear in no cell
+        assert all(
+            cell.engine != "custom-for-test" for cell in report.cells
+        )
+    finally:
+        del ENGINES["custom-for-test"]
+
+
+def test_ci_sweep_is_clean():
+    report = run_conformance(sweep="ci", circuits=("c17", "fulladder"))
+    assert report.ok, report.render()
+    assert report.violations() == []
+    engines_seen = {cell.engine for cell in report.cells}
+    assert {"dp", "truthtable", "deductive"} <= engines_seen
+    models_seen = {cell.model for cell in report.cells}
+    assert {"stuck-at", "bridging"} <= models_seen
+    assert "all invariants hold" in report.render()
+
+
+def test_sweeps_cover_both_scales():
+    assert set(SWEEPS) == {"ci", "full"}
+    assert set(SWEEPS["ci"].circuits) <= set(SWEEPS["full"].circuits)
+
+
+def test_unknown_sweep_raises():
+    with pytest.raises(KeyError):
+        run_conformance(sweep="nope")
+
+
+def test_seeded_self_check_catches_every_defect():
+    """Acceptance criterion: >=5 seeded defect classes, each caught."""
+    assert len(DEFECTS) >= 5
+    report = run_seeded_self_check()
+    assert report.ok, report.render()
+    assert report.baseline_violations == ()
+    for outcome in report.outcomes:
+        assert outcome.caught, f"{outcome.defect.name} escaped every oracle"
+    # distinct defects must not all funnel through one oracle
+    assert len({frozenset(o.oracles_fired) for o in report.outcomes}) >= 3
+
+
+@pytest.mark.parametrize("defect", DEFECTS, ids=lambda d: d.name)
+def test_each_defect_documents_itself(defect):
+    assert defect.description
+    assert callable(defect.corrupt)
+
+
+def test_cli_ok_exit(capsys):
+    from repro.verify.__main__ import main
+
+    rc = main(
+        [
+            "--scale",
+            "ci",
+            "--circuits",
+            "c17",
+            "--transforms",
+            "two-input",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "repro.verify: OK" in out
+
+
+def test_cli_skip_flags(capsys):
+    from repro.verify.__main__ import main
+
+    rc = main(
+        [
+            "--skip-conformance",
+            "--skip-metamorphic",
+            "--circuits",
+            "c17",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "conformance" not in out.lower() or "seeded" in out.lower()
+
+
+def test_cli_unknown_circuit_fails():
+    from repro.verify.__main__ import main
+
+    with pytest.raises(Exception):
+        main(["--circuits", "not-a-circuit"])

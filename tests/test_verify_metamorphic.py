@@ -1,0 +1,143 @@
+"""Metamorphic relations and the net-name preservation they rely on.
+
+The headline guarantee: equivalence-preserving rewrites keep the exact
+(``Fraction``) detectability of every mappable checkpoint fault.  The
+C499→C1355 reproduction depends on ``expand_xor_to_nand`` preserving
+net names, so that contract is pinned here as a regression test.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.benchcircuits import get_circuit
+from repro.circuit import insert_buffers, permute_inputs
+from repro.circuit.equivalence import circuits_equivalent
+from repro.faults.stuck_at import collapsed_checkpoint_faults
+from repro.verify.metamorphic import (
+    PAPER_TRANSFORMS,
+    TRANSFORMS,
+    check_relation,
+    map_fault,
+    run_metamorphic,
+)
+
+from tests.strategies import transformed_circuits
+
+PAPER_CIRCUITS = ("c17", "fulladder", "c95")
+
+
+@pytest.mark.parametrize("circuit_name", PAPER_CIRCUITS)
+@pytest.mark.parametrize("transform", PAPER_TRANSFORMS)
+def test_paper_transforms_preserve_exact_detectability(circuit_name, transform):
+    """Acceptance criterion: zero-tolerance invariance on the paper pair."""
+    outcome = check_relation(get_circuit(circuit_name), transform)
+    assert outcome.violations == ()
+    assert outcome.checked > 0
+
+
+@pytest.mark.parametrize("circuit_name", PAPER_CIRCUITS)
+@pytest.mark.parametrize("transform", ("buffer-insertion", "input-permutation"))
+def test_new_transforms_preserve_exact_detectability(circuit_name, transform):
+    outcome = check_relation(get_circuit(circuit_name), transform)
+    assert outcome.violations == ()
+    assert outcome.checked > 0
+
+
+def test_run_metamorphic_default_sweep_is_clean():
+    outcomes = run_metamorphic()
+    assert all(o.violations == () for o in outcomes)
+    assert len(outcomes) == len(PAPER_CIRCUITS) * len(TRANSFORMS)
+
+
+@pytest.mark.parametrize("transform", sorted(TRANSFORMS))
+def test_transforms_preserve_function_and_interface(transform):
+    original = get_circuit("fulladder")
+    rewritten = TRANSFORMS[transform](original)
+    if transform == "input-permutation":
+        assert sorted(rewritten.inputs) == sorted(original.inputs)
+    else:
+        assert rewritten.inputs == original.inputs
+    assert rewritten.outputs == original.outputs
+    assert circuits_equivalent(original, rewritten).equivalent
+
+
+@pytest.mark.parametrize("transform", sorted(TRANSFORMS))
+def test_transforms_preserve_stem_fault_sites(transform):
+    """Every original net survives, so every stem fault stays addressable."""
+    original = get_circuit("c95")
+    rewritten = TRANSFORMS[transform](original)
+    assert set(original.nets) <= set(rewritten.nets)
+    stems = [
+        f
+        for f in collapsed_checkpoint_faults(original)
+        if f.line.sink is None
+    ]
+    assert stems
+    for fault in stems:
+        mapped = map_fault(fault, rewritten)
+        assert mapped is not None
+        assert mapped.line.net == fault.line.net
+
+
+def test_c1355_is_name_preserving_expansion_of_c499():
+    """The controlled C499/C1355 experiment rests on this contract."""
+    c499 = get_circuit("c499")
+    c1355 = get_circuit("c1355")
+    assert set(c499.nets) <= set(c1355.nets)
+    assert c1355.inputs == c499.inputs
+    assert c1355.outputs == c499.outputs
+    assert c1355.num_gates > c499.num_gates
+    # every collapsed stem fault of C499 remains addressable in C1355
+    for fault in collapsed_checkpoint_faults(c499):
+        if fault.line.sink is None:
+            assert map_fault(fault, c1355) is not None
+
+
+def test_map_fault_drops_rewired_branches():
+    """Branch faults whose sink pin was rewired must map to None, not lie."""
+    circuit = get_circuit("c17")
+    buffered = insert_buffers(circuit)
+    branches = [
+        f
+        for f in collapsed_checkpoint_faults(circuit)
+        if f.line.sink is not None and not circuit.is_input(f.line.net)
+    ]
+    for fault in branches:
+        gate = buffered.gate(fault.line.sink)
+        still_wired = gate.fanins[fault.line.pin] == fault.line.net
+        assert (map_fault(fault, buffered) is not None) == still_wired
+
+
+def test_permute_inputs_rejects_non_permutations():
+    from repro.circuit.netlist import CircuitError
+
+    circuit = get_circuit("c17")
+    with pytest.raises(CircuitError):
+        permute_inputs(circuit, order=circuit.inputs[:-1])
+    with pytest.raises(CircuitError):
+        permute_inputs(circuit, order=circuit.inputs[:-1] + ("bogus",))
+
+
+def test_insert_buffers_only_aliases_gate_driven_sinks():
+    circuit = get_circuit("c17")
+    buffered = insert_buffers(circuit)
+    for gate in buffered.gates():
+        if gate.name.endswith("__buf"):
+            continue
+        for pin, net in enumerate(gate.fanins):
+            if buffered.is_input(net):
+                # PI branches keep their exact Line coordinates
+                assert circuit.gate(gate.name).fanins[pin] == net
+
+
+@settings(max_examples=25, deadline=None)
+@given(transformed_circuits(max_inputs=4, max_gates=8))
+def test_relation_holds_on_random_circuits(example):
+    circuit, name, transformed = example
+    assert circuits_equivalent(circuit, transformed).equivalent
+    outcome = check_relation(circuit, name)
+    assert outcome.violations == (), "\n".join(
+        str(v) for v in outcome.violations
+    )

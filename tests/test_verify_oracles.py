@@ -1,0 +1,169 @@
+"""Unit + property tests for the invariant oracle library."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.benchcircuits import get_circuit
+from repro.core.engine import DifferencePropagation
+from repro.core.symbolic import CircuitFunctions
+from repro.faults.lines import Line
+from repro.faults.stuck_at import StuckAtFault, collapsed_checkpoint_faults
+from repro.verify.oracles import (
+    FaultReport,
+    ORACLES,
+    check_campaign,
+    check_report,
+    check_reports,
+    cross_engine_violations,
+    perturbed,
+    report_from_analysis,
+)
+
+from tests.strategies import circuits
+
+
+@pytest.fixture(scope="module")
+def c17_reports():
+    circuit = get_circuit("c17")
+    functions = CircuitFunctions(circuit)
+    engine = DifferencePropagation(circuit, functions=functions)
+    return circuit, [
+        report_from_analysis("dp", engine.analyze(fault), functions)
+        for fault in collapsed_checkpoint_faults(circuit)
+    ]
+
+
+def test_oracle_registry_is_complete():
+    assert {
+        "detectability-range",
+        "bound-range",
+        "detectability-bound",
+        "adherence-range",
+        "minterm-count",
+        "po-feed",
+        "redundancy",
+    } <= set(ORACLES)
+
+
+def test_honest_dp_reports_are_clean(c17_reports):
+    circuit, reports = c17_reports
+    assert check_reports(circuit, reports) == []
+
+
+@pytest.mark.parametrize(
+    "changes, expected_oracle",
+    [
+        ({"detectability": Fraction(3, 2)}, "detectability-range"),
+        ({"upper_bound": Fraction(-1, 4)}, "bound-range"),
+        ({"upper_bound": Fraction(1, 1 << 10)}, "detectability-bound"),
+        ({"test_count": 999}, "minterm-count"),
+        (
+            {"detectability": Fraction(0), "test_count": 0},
+            "redundancy",
+        ),
+    ],
+)
+def test_each_oracle_trips_on_its_defect(c17_reports, changes, expected_oracle):
+    circuit, reports = c17_reports
+    victim = next(
+        r for r in reports if r.detectability > 0 and r.observable_pos
+    )
+    broken = perturbed(victim, **changes)
+    fired = {v.oracle for v in check_report(circuit, broken)}
+    assert expected_oracle in fired
+
+
+def test_po_feed_oracle_rejects_unfed_output(c17_reports):
+    circuit, reports = c17_reports
+    victim = next(r for r in reports if r.observable_pos)
+    # claim observability at a PI, which no fault site "feeds"
+    broken = perturbed(
+        victim, observable_pos=victim.observable_pos | {"not_a_po"}
+    )
+    fired = {v.oracle for v in check_report(circuit, broken)}
+    assert "po-feed" in fired
+
+
+def test_unexcitable_fault_must_be_undetectable(c17_reports):
+    circuit, reports = c17_reports
+    victim = next(r for r in reports if r.detectability > 0)
+    broken = perturbed(victim, upper_bound=Fraction(0))
+    fired = {v.oracle for v in check_report(circuit, broken)}
+    assert "adherence-range" in fired
+
+
+def test_inexact_reports_skip_approximation_sensitive_oracles(c17_reports):
+    circuit, reports = c17_reports
+    victim = next(r for r in reports if r.detectability > 0)
+    # under cut-point decomposition δ may legitimately exceed the bound
+    approximate = perturbed(
+        victim,
+        upper_bound=victim.detectability / 2,
+        test_count=None,
+        exact=False,
+    )
+    fired = {v.oracle for v in check_report(circuit, approximate)}
+    assert "detectability-bound" not in fired
+    assert "adherence-range" not in fired
+
+
+def test_cross_engine_agreement_and_disagreement(c17_reports):
+    circuit, reports = c17_reports
+    twins = [perturbed(r, engine="other") for r in reports]
+    assert cross_engine_violations(circuit, {"dp": reports, "other": twins}) == []
+
+    lying = list(twins)
+    lying[0] = perturbed(
+        lying[0],
+        detectability=lying[0].detectability + Fraction(1, 1 << 5),
+        test_count=None,
+        observable_pos=None,
+    )
+    fired = {
+        v.oracle
+        for v in cross_engine_violations(circuit, {"dp": reports, "other": lying})
+    }
+    assert fired == {"cross-engine-detectability"}
+
+
+def test_cross_engine_single_engine_is_vacuous(c17_reports):
+    circuit, reports = c17_reports
+    assert cross_engine_violations(circuit, {"dp": reports}) == []
+
+
+def test_check_campaign_on_real_campaign():
+    from repro.experiments.campaigns import stuck_at_campaign
+    from repro.experiments.config import get_scale
+
+    campaign = stuck_at_campaign("c17", get_scale("ci"))
+    assert check_campaign(campaign) == []
+
+
+def test_minterm_count_requires_matching_num_vars():
+    circuit = get_circuit("c17")
+    report = FaultReport(
+        engine="synthetic",
+        fault=StuckAtFault(Line(circuit.inputs[0]), False),
+        detectability=Fraction(1, 2),
+        num_vars=circuit.num_inputs,
+        test_count=1 << (circuit.num_inputs - 1),
+    )
+    assert check_report(circuit, report) == []
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuits(max_inputs=4, max_gates=10))
+def test_dp_reports_clean_on_random_circuits(circuit):
+    """Every invariant holds for honest DP on arbitrary netlists."""
+    functions = CircuitFunctions(circuit)
+    engine = DifferencePropagation(circuit, functions=functions)
+    reports = [
+        report_from_analysis("dp", engine.analyze(fault), functions)
+        for fault in collapsed_checkpoint_faults(circuit)
+    ]
+    violations = check_reports(circuit, reports)
+    assert not violations, "\n".join(str(v) for v in violations)
