@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-all test-parallel test-gc verify verify-full coverage bench bench-parallel bench-gc experiments experiments-paper examples clean
+.PHONY: install test test-all test-parallel test-gc verify verify-full coverage bench bench-parallel bench-gc bench-obs experiments experiments-paper trace-demo examples clean
 
 # line-coverage floor enforced on the core engine and the verify layer
 COV_FLOOR ?= 80
@@ -43,11 +43,19 @@ bench-parallel:
 bench-gc:
 	$(PYTHON) -m pytest benchmarks/test_bench_gc.py --benchmark-only
 
+bench-obs:
+	$(PYTHON) -m pytest benchmarks/test_bench_obs.py --benchmark-only
+
 experiments:
 	$(PYTHON) -m repro.experiments --out results/
 
 experiments-paper:
 	REPRO_SCALE=paper $(PYTHON) -m repro.experiments --out results/
+
+# traced c17 stuck-at campaign: prints the span tree, leaves the JSONL
+# trace and a run manifest under results/
+trace-demo:
+	$(PYTHON) -m repro.obs demo
 
 examples:
 	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done

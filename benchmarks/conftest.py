@@ -21,6 +21,7 @@ import dataclasses
 import os
 import random
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -80,6 +81,53 @@ def _release_heavy_bdd_state():
 
     campaigns._functions_cache.clear()
     gc.collect()
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _bench_artifact(request, results_dir, scale):
+    """Emit ``results/BENCH_<name>.json`` for every benchmark module.
+
+    The machine-readable twin of each bench's ``.txt`` rendering: wall
+    seconds for the whole module, the merged metric totals (BDD op
+    counts, GC reclaim, cache hit rate, peak/live nodes) of every
+    campaign the module caused to run, and a run manifest — so CI can
+    archive and diff benchmark runs without scraping stdout.
+    """
+    from repro import obs
+    from repro.experiments import campaigns
+
+    module = request.module.__name__.rpartition(".")[2]
+    name = module.removeprefix("test_bench_")
+    before_stuck = set(campaigns._stuck_cache)
+    before_bridge = set(campaigns._bridge_cache)
+    t0 = time.perf_counter()
+    yield
+    wall = time.perf_counter() - t0
+
+    registry = obs.MetricsRegistry()
+    roster: list[list[str]] = []
+    for key in sorted(set(campaigns._stuck_cache) - before_stuck):
+        registry.merge_snapshot(campaigns._stuck_cache[key].metrics().snapshot())
+        roster.append(["stuck-at", *key])
+    for key in sorted(set(campaigns._bridge_cache) - before_bridge):
+        registry.merge_snapshot(
+            campaigns._bridge_cache[key].metrics().snapshot()
+        )
+        roster.append(["bridging", *key])
+    payload = {
+        "wall_seconds": wall,
+        "campaigns": roster,
+        "metrics": registry.snapshot(),
+        "cache_hit_rate": registry.ratio(
+            "bdd.cache.hits", ("bdd.cache.hits", "bdd.cache.misses")
+        ),
+    }
+    obs.write_bench_artifact(
+        results_dir,
+        name,
+        payload,
+        manifest=obs.RunManifest.collect(scale=scale, wall_seconds=wall),
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,101 @@
+"""Bench — observability overhead on the C432 stuck-at campaign.
+
+The tracing layer must be free when off: every hot-path instrumentation
+point (`dp.compute_test_set`, `bdd.gc`) goes through
+:func:`repro.obs.span`, which with tracing disabled builds one kwargs
+dict and returns the shared no-op span. This bench measures the
+disabled-path cost directly and deterministically:
+
+1. run the complete collapsed C432 stuck-at campaign with tracing
+   disabled and record its wall time;
+2. count the spans a *traced* run of that campaign would have opened
+   (one per fault analysis, one per GC sweep, one per chunk);
+3. time that many disabled ``span()`` round-trips in a tight loop.
+
+The ratio of (3) to (1) is the whole disabled-tracing overhead and must
+stay under 3 % — in practice it is orders of magnitude below that,
+since one OBDD fault analysis costs milliseconds and a no-op span
+costs well under a microsecond. A timing-free structural check rides
+along: the disabled tracer returns the singleton no-op span and
+accumulates no events.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.benchcircuits import get_circuit
+from repro.core.engine import DifferencePropagation
+from repro.experiments import campaigns
+from repro.faults.stuck_at import collapsed_checkpoint_faults
+
+#: Acceptance ceiling for disabled-tracing overhead on the campaign.
+MAX_DISABLED_OVERHEAD = 0.03
+
+
+@pytest.fixture(autouse=True)
+def _isolated_campaign_state():
+    campaigns.clear_campaign_caches()
+    yield
+    campaigns.clear_campaign_caches()
+
+
+@pytest.mark.benchmark(group="obs")
+def test_disabled_tracing_overhead_c432(benchmark, results_dir):
+    if obs.tracing_enabled():
+        pytest.skip("overhead bench needs tracing disabled (REPRO_TRACE)")
+
+    circuit = get_circuit("c432")
+    faults = collapsed_checkpoint_faults(circuit)
+
+    def run():
+        engine = DifferencePropagation(
+            circuit, gc_node_limit=campaigns.CAMPAIGN_GC_LIMIT
+        )
+        t0 = time.perf_counter()
+        detectabilities = [engine.analyze(f).detectability for f in faults]
+        return engine, detectabilities, time.perf_counter() - t0
+
+    engine, detectabilities, t_campaign = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert all(0 <= d <= 1 for d in detectabilities)
+
+    # Structural zero-cost guarantee: disabled span() hands back the
+    # shared no-op singleton and the null tracer never records events.
+    sp = obs.span("dp.compute_test_set", fault=faults[0])
+    assert sp is obs.NOOP_SPAN
+    assert obs.get_tracer().events == ()
+
+    # Spans a traced run of the same campaign opens: one per fault
+    # (dp.compute_test_set), one per GC sweep (bdd.gc), one chunk span.
+    n_spans = len(faults) + engine.gc_runs + 1
+
+    loops = max(n_spans, 10_000)
+    t0 = time.perf_counter()
+    for fault in range(loops):
+        with obs.span("dp.compute_test_set", fault=fault) as s:
+            s.set(observable_pos=fault)
+    t_per_span = (time.perf_counter() - t0) / loops
+
+    overhead = (n_spans * t_per_span) / t_campaign
+    assert overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled tracing costs {100 * overhead:.3f} % of the c432 "
+        f"campaign ({n_spans} spans x {1e9 * t_per_span:.0f} ns vs "
+        f"{t_campaign:.3f} s)"
+    )
+
+    lines = [
+        f"c432 stuck-at campaign, {len(faults)} faults",
+        f"campaign wall (tracing off)  {t_campaign:8.3f} s",
+        f"spans a traced run opens     {n_spans:8d}",
+        f"disabled span round-trip     {1e9 * t_per_span:8.0f} ns",
+        f"disabled-tracing overhead    {100 * overhead:8.4f} %  "
+        f"(ceiling {100 * MAX_DISABLED_OVERHEAD:.0f} %)",
+    ]
+    rendering = "\n".join(lines)
+    (results_dir / "bench_obs.txt").write_text(rendering + "\n")
+    print(f"\n{rendering}")

@@ -44,6 +44,7 @@ from repro.bdd.cache import (
     ManagerStats,
     OperationCache,
 )
+from repro.obs.trace import span as _span
 from repro.bdd.cache import (
     OP_AND as _OP_AND,
     OP_COMPOSE as _OP_COMPOSE,
@@ -263,6 +264,16 @@ class BDDManager:
         Never called implicitly: callers holding raw node ints outside
         the root set are safe until *they* decide to collect.
         """
+        with _span("bdd.gc") as sp:
+            freed = self._gc_sweep()
+            sp.set(
+                freed=freed,
+                live_nodes=self.num_live_nodes,
+                allocated_nodes=self.num_nodes,
+            )
+        return freed
+
+    def _gc_sweep(self) -> int:
         level, low, high = self._level, self._low, self._high
         alive = bytearray(len(level))
         alive[FALSE] = alive[TRUE] = 1

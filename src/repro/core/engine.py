@@ -37,6 +37,7 @@ from repro.bdd.function import Function
 from repro.bdd.manager import FALSE
 from repro.circuit.netlist import Circuit
 from repro.core.difference import gate_output_difference
+from repro.obs.trace import span as _span
 from repro.core.metrics import Fault, FaultAnalysis
 from repro.core.symbolic import CircuitFunctions
 from repro.faults.bridging import BridgeKind, BridgingFault
@@ -87,6 +88,12 @@ class DifferencePropagation:
     # ------------------------------------------------------------------
     def analyze(self, fault: Fault) -> FaultAnalysis:
         """Complete test set and observability of one fault."""
+        with _span("dp.compute_test_set", fault=fault) as sp:
+            analysis = self._analyze(fault)
+            sp.set(observable_pos=len(analysis.po_deltas))
+        return analysis
+
+    def _analyze(self, fault: Fault) -> FaultAnalysis:
         self._manage_memory()
         functions = self.functions
         m = functions.manager
@@ -195,5 +202,6 @@ class DifferencePropagation:
             if live > self._gc_threshold // 2:
                 self._gc_threshold = max(self.gc_node_limit, 2 * live)
         if m.num_live_nodes > self.rebuild_node_limit:
-            self.functions = self.functions.rebuilt()
+            with _span("dp.rebuild", live_nodes=m.num_live_nodes):
+                self.functions = self.functions.rebuilt()
             self.rebuilds += 1

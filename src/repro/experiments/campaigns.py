@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Sequence
 
+from repro import obs
 from repro.bdd.ordering import dfs_fanin_order
 from repro.benchcircuits import get_circuit
 from repro.circuit.netlist import Circuit
@@ -57,6 +58,27 @@ class FaultResult:
         return adherence(self.detectability, self.upper_bound)
 
 
+#: ChunkStat field ↔ registry metric name, for the counter-like fields
+#: that merge by summing across chunks.
+CHUNK_COUNTER_METRICS: dict[str, str] = {
+    "num_faults": "campaign.faults",
+    "seconds": "campaign.seconds",
+    "reclaimed_nodes": "bdd.gc.reclaimed_nodes",
+    "gc_runs": "bdd.gc.runs",
+    "rebuilds": "bdd.rebuilds",
+    "cache_hits": "bdd.cache.hits",
+    "cache_misses": "bdd.cache.misses",
+    "cache_evictions": "bdd.cache.evictions",
+}
+
+#: ChunkStat field ↔ registry metric name for the peak/footprint gauges
+#: (merge by max across chunks).
+CHUNK_GAUGE_METRICS: dict[str, str] = {
+    "peak_nodes": "bdd.nodes.peak",
+    "live_nodes": "bdd.nodes.live",
+}
+
+
 @dataclass(frozen=True)
 class ChunkStat:
     """Execution telemetry for one shard of a campaign.
@@ -66,11 +88,13 @@ class ChunkStat:
     result equality — two runs of the same campaign compare equal on
     ``results`` regardless of how they were scheduled.
 
-    The GC/cache fields come from the engine and its manager's
-    :class:`~repro.bdd.cache.ManagerStats`: cache counters are the
-    *delta* accrued while the chunk ran (a long-lived pool worker's
-    manager counts cumulatively across chunks), node counts are the
-    end-of-chunk snapshot.
+    The numeric fields are a *view* over the chunk's
+    :class:`~repro.obs.metrics.MetricsRegistry` (see
+    :meth:`from_metrics` / :meth:`to_metrics`); the registry is what
+    travels, merges and aggregates, this dataclass is the stable public
+    shape. Cache counters are the *delta* accrued while the chunk ran
+    (a long-lived pool worker's manager counts cumulatively across
+    chunks), node counts are the end-of-chunk snapshot.
     """
 
     index: int
@@ -96,6 +120,32 @@ class ChunkStat:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
+    @classmethod
+    def from_metrics(
+        cls,
+        registry: obs.MetricsRegistry,
+        index: int,
+        worker_pid: int,
+    ) -> "ChunkStat":
+        """Project one chunk's registry onto the public stat shape."""
+        fields: dict[str, int | float] = {}
+        for name, metric in CHUNK_COUNTER_METRICS.items():
+            value = registry.counter_value(metric)
+            fields[name] = value if name == "seconds" else int(value)
+        for name, metric in CHUNK_GAUGE_METRICS.items():
+            fields[name] = int(registry.gauge_value(metric))
+        return cls(index=index, worker_pid=worker_pid, **fields)
+
+    def to_metrics(self) -> obs.MetricsRegistry:
+        """The chunk's metrics as a mergeable registry."""
+        registry = obs.MetricsRegistry()
+        for name, metric in CHUNK_COUNTER_METRICS.items():
+            registry.counter(metric).inc(getattr(self, name))
+        for name, metric in CHUNK_GAUGE_METRICS.items():
+            registry.gauge(metric).set(getattr(self, name))
+        registry.histogram("campaign.chunk_seconds").observe(self.seconds)
+        return registry
+
 
 @dataclass(frozen=True)
 class CampaignResult:
@@ -114,35 +164,47 @@ class CampaignResult:
     def detectable(self) -> list[FaultResult]:
         return [r for r in self.results if r.is_detectable]
 
+    def metrics(self) -> obs.MetricsRegistry:
+        """Aggregate registry: chunk metrics merged in shard order, plus
+        the result-derived counters (``campaign.results``,
+        ``campaign.detectable``). Every legacy aggregate below is a
+        thin view over this."""
+        registry = obs.MetricsRegistry.merged(
+            stat.to_metrics().snapshot() for stat in self.chunk_stats
+        )
+        registry.counter("campaign.results").inc(len(self.results))
+        registry.counter("campaign.detectable").inc(len(self.detectable()))
+        return registry
+
     def total_seconds(self) -> float:
         """Summed per-chunk wall-clock (CPU-seconds of fault analysis)."""
-        return sum(stat.seconds for stat in self.chunk_stats)
+        return self.metrics().counter_value("campaign.seconds")
 
     def peak_nodes(self) -> int:
         """Largest OBDD node store any chunk's engine reached."""
-        return max((stat.peak_nodes for stat in self.chunk_stats), default=0)
+        return int(self.metrics().gauge_value("bdd.nodes.peak"))
 
     def live_nodes(self) -> int:
         """Largest end-of-chunk in-use node count across chunks."""
-        return max((stat.live_nodes for stat in self.chunk_stats), default=0)
+        return int(self.metrics().gauge_value("bdd.nodes.live"))
 
     def reclaimed_nodes(self) -> int:
         """Node slots reclaimed by GC, summed over every chunk."""
-        return sum(stat.reclaimed_nodes for stat in self.chunk_stats)
+        return int(self.metrics().counter_value("bdd.gc.reclaimed_nodes"))
 
     def gc_runs(self) -> int:
         """Incremental GC sweeps, summed over every chunk."""
-        return sum(stat.gc_runs for stat in self.chunk_stats)
+        return int(self.metrics().counter_value("bdd.gc.runs"))
 
     def rebuilds(self) -> int:
         """Whole-manager rebuild fallbacks, summed over every chunk."""
-        return sum(stat.rebuilds for stat in self.chunk_stats)
+        return int(self.metrics().counter_value("bdd.rebuilds"))
 
     def cache_hit_rate(self) -> float:
         """Aggregate computed-table hit rate across every chunk."""
-        hits = sum(stat.cache_hits for stat in self.chunk_stats)
-        lookups = hits + sum(stat.cache_misses for stat in self.chunk_stats)
-        return hits / lookups if lookups else 0.0
+        return self.metrics().ratio(
+            "bdd.cache.hits", ("bdd.cache.hits", "bdd.cache.misses")
+        )
 
 
 #: In-use node count that triggers incremental GC between faults —
@@ -194,7 +256,8 @@ def telemetry_report() -> list[str]:
     Backs the CLI's ``--stats`` surface: every campaign the current
     process has run (serial or fanned out over workers) reports its
     fault count, wall-clock, node-store footprint, GC activity and
-    computed-table hit rate.
+    computed-table hit rate. Each row is a rendering of the campaign's
+    merged :meth:`CampaignResult.metrics` registry.
     """
     rows: list[tuple[str, str, str, CampaignResult]] = []
     for (name, scale_name), result in sorted(_stuck_cache.items()):
@@ -210,12 +273,17 @@ def telemetry_report() -> list[str]:
         f"{'rebuilds':>8} {'cache-hit%':>10}",
     ]
     for name, model, _scale_name, result in rows:
+        metrics = result.metrics()
         lines.append(
-            f"{name:<10} {model:<12} {len(result.results):>6} "
-            f"{result.total_seconds():>8.2f} {result.peak_nodes():>9} "
-            f"{result.live_nodes():>8} {result.reclaimed_nodes():>9} "
-            f"{result.gc_runs():>4} {result.rebuilds():>8} "
-            f"{100 * result.cache_hit_rate():>9.1f}%"
+            f"{name:<10} {model:<12} "
+            f"{int(metrics.counter_value('campaign.results')):>6} "
+            f"{metrics.counter_value('campaign.seconds'):>8.2f} "
+            f"{int(metrics.gauge_value('bdd.nodes.peak')):>9} "
+            f"{int(metrics.gauge_value('bdd.nodes.live')):>8} "
+            f"{int(metrics.counter_value('bdd.gc.reclaimed_nodes')):>9} "
+            f"{int(metrics.counter_value('bdd.gc.runs')):>4} "
+            f"{int(metrics.counter_value('bdd.rebuilds')):>8} "
+            f"{100 * metrics.ratio('bdd.cache.hits', ('bdd.cache.hits', 'bdd.cache.misses')):>9.1f}%"
         )
     return lines
 
@@ -282,11 +350,24 @@ def _dispatch(
 
     requested = workers if workers is not None else scale.effective_workers()
     n_workers = parallel.effective_workers(requested, circuit, len(faults))
-    if n_workers > 1:
-        return parallel.run_campaign(
-            circuit, name, scale, faults, bridging=bridging, n_workers=n_workers
-        )
-    return _run(circuit, name, scale, faults, bridging)
+    with obs.span(
+        "campaign.run",
+        circuit=name,
+        model="bridging" if bridging else "stuck-at",
+        scale=scale.name,
+        faults=len(faults),
+        workers=n_workers,
+    ):
+        if n_workers > 1:
+            return parallel.run_campaign(
+                circuit,
+                name,
+                scale,
+                faults,
+                bridging=bridging,
+                n_workers=n_workers,
+            )
+        return _run(circuit, name, scale, faults, bridging)
 
 
 def analyze_faults(
@@ -319,19 +400,19 @@ def analyze_faults(
     return tuple(records)
 
 
-def chunk_telemetry(
+def chunk_metrics(
     engine: DifferencePropagation,
     before_manager,
     before_stats,
-) -> dict[str, int]:
-    """GC/cache telemetry fields for a finished chunk's :class:`ChunkStat`.
+) -> obs.MetricsRegistry:
+    """The GC/cache registry for a finished chunk — ``ChunkStat``'s source.
 
-    Cache counters are reported as the delta against ``before_stats``
+    Cache counters are recorded as the delta against ``before_stats``
     (captured at chunk start) so long-lived pool workers — whose
     managers accumulate counts across chunks — still report per-chunk
     numbers. If the engine swapped managers mid-chunk (rebuild
     fallback), the fresh manager's counters already are the chunk's
-    own, so they're reported absolutely.
+    own, so they're recorded absolutely.
     """
     manager = engine.functions.manager
     stats = manager.stats()
@@ -343,15 +424,31 @@ def chunk_telemetry(
         hits = stats.cache_hits
         misses = stats.cache_misses
         evictions = stats.cache_evictions
-    return {
-        "live_nodes": stats.live_nodes,
-        "reclaimed_nodes": engine.reclaimed_nodes,
-        "gc_runs": engine.gc_runs,
-        "rebuilds": engine.rebuilds,
-        "cache_hits": hits,
-        "cache_misses": misses,
-        "cache_evictions": evictions,
+    registry = obs.MetricsRegistry()
+    registry.gauge("bdd.nodes.live").set(stats.live_nodes)
+    registry.counter("bdd.gc.reclaimed_nodes").inc(engine.reclaimed_nodes)
+    registry.counter("bdd.gc.runs").inc(engine.gc_runs)
+    registry.counter("bdd.rebuilds").inc(engine.rebuilds)
+    registry.counter("bdd.cache.hits").inc(hits)
+    registry.counter("bdd.cache.misses").inc(misses)
+    registry.counter("bdd.cache.evictions").inc(evictions)
+    return registry
+
+
+def chunk_telemetry(
+    engine: DifferencePropagation,
+    before_manager,
+    before_stats,
+) -> dict[str, int]:
+    """Legacy dict view over :func:`chunk_metrics` (same field names)."""
+    registry = chunk_metrics(engine, before_manager, before_stats)
+    telemetry = {
+        name: int(registry.counter_value(metric))
+        for name, metric in CHUNK_COUNTER_METRICS.items()
+        if name not in ("num_faults", "seconds")
     }
+    telemetry["live_nodes"] = int(registry.gauge_value("bdd.nodes.live"))
+    return telemetry
 
 
 def store_engine_functions(
@@ -373,6 +470,48 @@ def store_engine_functions(
     return functions
 
 
+def run_chunk_body(
+    circuit: Circuit,
+    name: str,
+    scale: Scale,
+    faults: Sequence[Fault],
+    bridging: bool,
+    index: int,
+) -> tuple[tuple[FaultResult, ...], bool, ChunkStat]:
+    """Analyze one shard and report (records, exactness, stat).
+
+    The single implementation behind the serial path and every pool
+    worker: builds (or cache-hits) the circuit's functions, runs the
+    per-fault loop under a ``campaign.chunk`` span, and projects the
+    chunk's metrics registry onto a :class:`ChunkStat`.
+    """
+    with obs.span(
+        "campaign.chunk", circuit=name, index=index, faults=len(faults)
+    ):
+        start = time.perf_counter()
+        functions = circuit_functions(name, scale)
+        engine = DifferencePropagation(
+            circuit,
+            functions=functions,
+            gc_node_limit=CAMPAIGN_GC_LIMIT,
+            rebuild_node_limit=CAMPAIGN_REBUILD_LIMIT,
+        )
+        before_manager = functions.manager
+        before_stats = before_manager.stats()
+        records = analyze_faults(engine, faults, bridging)
+        registry = chunk_metrics(engine, before_manager, before_stats)
+        functions = store_engine_functions(name, scale, engine)
+        registry.counter("campaign.faults").inc(len(faults))
+        registry.counter("campaign.seconds").inc(
+            time.perf_counter() - start
+        )
+        registry.gauge("bdd.nodes.peak").set(engine.peak_nodes)
+        stat = ChunkStat.from_metrics(
+            registry, index=index, worker_pid=os.getpid()
+        )
+    return records, functions.is_exact, stat
+
+
 def _run(
     circuit: Circuit,
     name: str,
@@ -380,30 +519,12 @@ def _run(
     faults: Sequence[Fault],
     bridging: bool,
 ) -> CampaignResult:
-    start = time.perf_counter()
-    functions = circuit_functions(name, scale)
-    engine = DifferencePropagation(
-        circuit,
-        functions=functions,
-        gc_node_limit=CAMPAIGN_GC_LIMIT,
-        rebuild_node_limit=CAMPAIGN_REBUILD_LIMIT,
-    )
-    before_manager = functions.manager
-    before_stats = before_manager.stats()
-    records = analyze_faults(engine, faults, bridging)
-    telemetry = chunk_telemetry(engine, before_manager, before_stats)
-    functions = store_engine_functions(name, scale, engine)
-    stat = ChunkStat(
-        index=0,
-        num_faults=len(faults),
-        seconds=time.perf_counter() - start,
-        peak_nodes=engine.peak_nodes,
-        worker_pid=os.getpid(),
-        **telemetry,
+    records, exact, stat = run_chunk_body(
+        circuit, name, scale, faults, bridging, index=0
     )
     return CampaignResult(
         circuit=circuit,
-        results=tuple(records),
-        exact=functions.is_exact,
+        results=records,
+        exact=exact,
         chunk_stats=(stat,),
     )

@@ -6,7 +6,15 @@ Examples::
     repro-experiments fig2 fig5            # a subset
     repro-experiments --scale paper --out results/
     repro-experiments --workers 4 fig2     # parallel fault campaigns
+    repro-experiments --trace fig2         # span trace + results/trace.jsonl
     python -m repro.experiments fig3       # module form
+
+Observability: every run writes a machine-readable sibling
+``<name>.json`` (run manifest + findings + data) next to each
+experiment's ``<name>.txt``; with tracing on (``--trace`` or
+``$REPRO_TRACE``) the merged span trace lands in ``trace.jsonl``.
+Progress goes through the ``repro.experiments`` logger (level from
+``$REPRO_LOG``); rendered results still print to stdout.
 """
 
 from __future__ import annotations
@@ -17,11 +25,18 @@ import sys
 import time
 from pathlib import Path
 
+from repro import obs
+
+log = obs.get_logger("repro.experiments")
+
 
 def main(argv: list[str] | None = None) -> int:
+    import os
+
     from repro.experiments import ALL_EXPERIMENTS
     from repro.experiments.config import SCALES, get_scale
 
+    obs.configure_logging()
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
@@ -65,6 +80,19 @@ def main(argv: list[str] | None = None) -> int:
         "reclaimed nodes, cache hit rates) after the run",
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span trace of the run (same as REPRO_TRACE=1); "
+        "written as JSONL next to the other artifacts",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="span-trace destination (default: <artifact dir>/trace.jsonl)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"
     )
     args = parser.parse_args(argv)
@@ -85,9 +113,28 @@ def main(argv: list[str] | None = None) -> int:
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
-    print(
-        f"scale: {scale.name}  circuits: {', '.join(scale.circuits)}"
-        + (f"  workers: {args.workers}" if args.workers else "")
+    if args.trace and not obs.tracing_enabled():
+        # Propagate through the environment too: pool workers inherit
+        # it and trace their chunks into the merged payload.
+        os.environ["REPRO_TRACE"] = "1"
+        obs.enable_tracing()
+    tracing = obs.tracing_enabled()
+
+    # Machine-readable artifacts (manifest JSONs, the trace) go to the
+    # explicit --out directory, falling back to results/ for traced
+    # runs so `REPRO_TRACE=1 ... fig2` always leaves evidence behind.
+    artifact_dir: Path | None = args.out
+    if artifact_dir is None and tracing:
+        artifact_dir = Path("results")
+    if artifact_dir is not None:
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+
+    log.info(
+        "scale: %s  circuits: %s%s%s",
+        scale.name,
+        ", ".join(scale.circuits),
+        f"  workers: {args.workers}" if args.workers else "",
+        "  tracing: on" if tracing else "",
     )
     failures = 0
     report: list[str] = [
@@ -97,18 +144,27 @@ def main(argv: list[str] | None = None) -> int:
     ]
     for name in names:
         start = time.time()
-        try:
-            result = ALL_EXPERIMENTS[name](scale)
-        except Exception as exc:  # surface which experiment broke
-            failures += 1
-            print(f"\n== {name}: FAILED ({exc!r}) ==", file=sys.stderr)
-            report.extend(["", f"## {name}", "", f"**FAILED**: `{exc!r}`"])
-            continue
+        with obs.span("experiment", experiment=name, scale=scale.name):
+            try:
+                result = ALL_EXPERIMENTS[name](scale)
+            except Exception as exc:  # surface which experiment broke
+                failures += 1
+                print(f"\n== {name}: FAILED ({exc!r}) ==", file=sys.stderr)
+                log.error("%s failed: %r", name, exc)
+                report.extend(
+                    ["", f"## {name}", "", f"**FAILED**: `{exc!r}`"]
+                )
+                continue
         elapsed = time.time() - start
         rendered = result.render()
-        print(f"\n{rendered}\n[{name} finished in {elapsed:.1f}s]")
+        print(f"\n{rendered}")
+        log.info("%s finished in %.1fs", name, elapsed)
         if args.out is not None:
             (args.out / f"{name}.txt").write_text(rendered + "\n")
+        if artifact_dir is not None:
+            _write_experiment_json(
+                artifact_dir, result, scale, args.workers, elapsed
+            )
         report.extend(
             [
                 "",
@@ -136,10 +192,44 @@ def main(argv: list[str] | None = None) -> int:
         args.markdown.parent.mkdir(parents=True, exist_ok=True)
         args.markdown.write_text("\n".join(report) + "\n")
 
+    if tracing:
+        trace_path = args.trace_out
+        if trace_path is None:
+            trace_path = (artifact_dir or Path("results")) / "trace.jsonl"
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        count = obs.get_tracer().export_jsonl(trace_path)
+        log.info("%d spans written to %s", count, trace_path)
+
     from repro.experiments.parallel import shutdown_pool
 
     shutdown_pool()  # reap campaign workers before exiting
     return 1 if failures else 0
+
+
+def _write_experiment_json(
+    artifact_dir: Path, result, scale, workers, elapsed: float
+) -> Path:
+    """The machine-readable sibling of one experiment's ``.txt``."""
+    import json
+
+    manifest = obs.RunManifest.collect(
+        scale=scale, workers=workers, wall_seconds=elapsed
+    )
+    document = {
+        "schema": "repro.experiment-result/1",
+        "experiment": result.exp_id,
+        "title": result.title,
+        "findings": list(result.findings),
+        "wall_seconds": elapsed,
+        "data": obs.json_safe(result.data),
+        "manifest": manifest.to_dict(),
+    }
+    path = artifact_dir / f"{result.exp_id}.json"
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
 
 
 if __name__ == "__main__":

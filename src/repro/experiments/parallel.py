@@ -33,12 +33,11 @@ down, guaranteeing the next campaign sees freshly built managers.
 
 from __future__ import annotations
 
-import os
-import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
 from repro.benchcircuits import get_circuit
 from repro.circuit.netlist import Circuit
 from repro.core.engine import DifferencePropagation
@@ -80,12 +79,18 @@ class CampaignSpec:
 
 @dataclass(frozen=True)
 class ChunkResult:
-    """A worker's answer for one :class:`CampaignSpec`."""
+    """A worker's answer for one :class:`CampaignSpec`.
+
+    ``trace`` carries the chunk's captured span events (plain dicts,
+    empty when tracing is disabled); the driver absorbs them back in
+    shard-index order so merged traces are deterministic.
+    """
 
     index: int
     results: tuple[FaultResult, ...]
     exact: bool
     stat: ChunkStat
+    trace: tuple[dict, ...] = ()
 
 
 # ----------------------------------------------------------------------
@@ -127,40 +132,29 @@ def shard_faults(
 def run_chunk(spec: CampaignSpec) -> ChunkResult:
     """Analyze one shard (executes inside a pool worker, or inline).
 
-    Reuses :func:`campaigns.circuit_functions` so a worker that sees
-    several chunks of the same circuit builds its functions once; the
-    post-chunk :func:`campaigns.store_engine_functions` keeps the
-    worker-local cache compact exactly like the serial path.
+    Reuses :func:`campaigns.run_chunk_body` — the exact loop the serial
+    path runs — so a worker that sees several chunks of the same
+    circuit builds its functions once and keeps its local cache compact
+    just like the serial path. Spans are fenced into an
+    :class:`repro.obs.capture` so they travel home as a picklable
+    payload instead of staying stranded in the worker (workers inherit
+    ``$REPRO_TRACE`` through the environment).
     """
-    start = time.perf_counter()
-    circuit = get_circuit(spec.circuit)
-    functions = campaigns.circuit_functions(spec.circuit, spec.scale)
-    engine = DifferencePropagation(
-        circuit,
-        functions=functions,
-        gc_node_limit=campaigns.CAMPAIGN_GC_LIMIT,
-        rebuild_node_limit=campaigns.CAMPAIGN_REBUILD_LIMIT,
-    )
-    before_manager = functions.manager
-    before_stats = before_manager.stats()
-    records = campaigns.analyze_faults(engine, spec.faults, spec.bridging)
-    telemetry = campaigns.chunk_telemetry(engine, before_manager, before_stats)
-    functions = campaigns.store_engine_functions(
-        spec.circuit, spec.scale, engine
-    )
-    stat = ChunkStat(
-        index=spec.index,
-        num_faults=len(spec.faults),
-        seconds=time.perf_counter() - start,
-        peak_nodes=engine.peak_nodes,
-        worker_pid=os.getpid(),
-        **telemetry,
-    )
+    with obs.capture() as captured:
+        records, exact, stat = campaigns.run_chunk_body(
+            get_circuit(spec.circuit),
+            spec.circuit,
+            spec.scale,
+            spec.faults,
+            spec.bridging,
+            index=spec.index,
+        )
     return ChunkResult(
         index=spec.index,
         results=records,
-        exact=functions.is_exact,
+        exact=exact,
         stat=stat,
+        trace=tuple(captured.events),
     )
 
 
@@ -258,11 +252,19 @@ def merge_chunk_results(
 
     Order-invariant in its input — workers may complete in any order
     (``tests/test_bdd_properties.py`` proves invariance on shuffles).
+    Captured worker span payloads are absorbed into the driver's tracer
+    under the same rule: shard-index order, regardless of completion
+    order, so two runs of one campaign produce identically-shaped
+    traces.
     """
     ordered = sorted(chunks, key=lambda chunk: chunk.index)
     indices = [chunk.index for chunk in ordered]
     if indices != list(range(len(ordered))):
         raise ValueError(f"chunk indices {indices} are not 0..{len(ordered) - 1}")
+    tracer = obs.get_tracer()
+    if tracer.enabled:
+        for chunk in ordered:
+            tracer.absorb(chunk.trace)
     return CampaignResult(
         circuit=circuit,
         results=tuple(r for chunk in ordered for r in chunk.results),

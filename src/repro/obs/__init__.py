@@ -1,0 +1,78 @@
+"""Unified observability: tracing, metrics, manifests, logging.
+
+The lowest layer of the codebase (it imports nothing from ``repro``
+outside itself), so every other layer — the BDD manager, the
+Difference Propagation engine, the campaign executors, the CLI — can
+instrument itself without cycles:
+
+* :mod:`repro.obs.trace` — span tracer (``with obs.span(...)``),
+  JSONL export, cross-process capture/absorb. Disabled by default;
+  enable with ``$REPRO_TRACE`` or ``--trace``.
+* :mod:`repro.obs.metrics` — counters / gauges / histograms with
+  deterministic merge; the source of truth behind ``ChunkStat`` and
+  ``telemetry_report()``.
+* :mod:`repro.obs.manifest` — :class:`RunManifest` provenance records
+  written alongside experiment and benchmark outputs.
+* :mod:`repro.obs.logging` — the ``repro.*`` logger hierarchy behind
+  ``$REPRO_LOG``.
+* :mod:`repro.obs.bench` — ``BENCH_<name>.json`` artifact helpers.
+
+``python -m repro.obs demo`` runs a traced C17 campaign and
+pretty-prints the span tree; ``python -m repro.obs tree FILE`` renders
+an existing JSONL trace.
+"""
+
+from repro.obs.bench import (
+    bench_artifact_path,
+    read_bench_artifact,
+    write_bench_artifact,
+)
+from repro.obs.encode import json_safe
+from repro.obs.logging import configure_logging, get_logger
+from repro.obs.manifest import RunManifest, git_sha
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    NOOP_SPAN,
+    NullTracer,
+    Span,
+    Tracer,
+    capture,
+    current_location,
+    disable_tracing,
+    enable_tracing,
+    env_enabled,
+    get_tracer,
+    render_tree,
+    set_tracer,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "RunManifest",
+    "Span",
+    "Tracer",
+    "bench_artifact_path",
+    "capture",
+    "configure_logging",
+    "current_location",
+    "disable_tracing",
+    "enable_tracing",
+    "env_enabled",
+    "get_logger",
+    "get_tracer",
+    "git_sha",
+    "json_safe",
+    "read_bench_artifact",
+    "render_tree",
+    "set_tracer",
+    "span",
+    "tracing_enabled",
+    "write_bench_artifact",
+]

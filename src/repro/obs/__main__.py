@@ -1,0 +1,110 @@
+"""Trace tooling CLI.
+
+::
+
+    python -m repro.obs demo                 # traced C17 campaign → span tree
+    python -m repro.obs demo --circuit c95   # any registered circuit
+    python -m repro.obs tree results/trace.jsonl
+
+``demo`` backs ``make trace-demo``: it enables tracing, runs one
+stuck-at campaign, writes the JSONL trace and a run manifest under
+``results/``, and pretty-prints the span tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.obs import trace as trace_mod
+from repro.obs.logging import configure_logging, get_logger
+from repro.obs.manifest import RunManifest
+from repro.obs.trace import render_tree
+
+log = get_logger("repro.obs")
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    events = []
+    with open(args.trace, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    for line in render_tree(events):
+        print(line)
+    print(f"({len(events)} spans)")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    # Imports deferred: the obs package itself must stay importable
+    # from the layers these modules sit on top of.
+    from repro.experiments.campaigns import (
+        clear_campaign_caches,
+        stuck_at_campaign,
+        telemetry_report,
+    )
+    from repro.experiments.config import get_scale
+
+    tracer = trace_mod.enable_tracing()
+    scale = get_scale(args.scale)
+    clear_campaign_caches()
+    start = time.perf_counter()
+    campaign = stuck_at_campaign(args.circuit, scale)
+    wall = time.perf_counter() - start
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = out_dir / f"trace_{args.circuit}.jsonl"
+    count = tracer.export_jsonl(trace_path)
+    manifest = RunManifest.collect(
+        scale=scale,
+        circuits=(args.circuit,),
+        wall_seconds=wall,
+        extra={"demo": True, "spans": count},
+    )
+    manifest_path = manifest.write(out_dir / f"trace_{args.circuit}.json")
+
+    for line in render_tree(tracer.events):
+        print(line)
+    print()
+    print("\n".join(telemetry_report()))
+    print()
+    print(
+        f"{args.circuit}: {len(campaign.results)} faults, "
+        f"{count} spans in {wall:.2f} s"
+    )
+    log.info("trace written to %s", trace_path)
+    log.info("manifest written to %s", manifest_path)
+    clear_campaign_caches()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    configure_logging()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Span-trace tooling: run a traced demo or render a trace.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a traced campaign, print the tree")
+    demo.add_argument("--circuit", default="c17")
+    demo.add_argument("--scale", default=None)
+    demo.add_argument("--out", default="results")
+    demo.set_defaults(func=_cmd_demo)
+
+    tree = sub.add_parser("tree", help="pretty-print a JSONL trace file")
+    tree.add_argument("trace")
+    tree.set_defaults(func=_cmd_tree)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

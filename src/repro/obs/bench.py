@@ -1,0 +1,66 @@
+"""Machine-readable benchmark artifacts: ``results/BENCH_<name>.json``.
+
+Every benchmark module emits one of these (the shared conftest fixture
+calls :func:`write_bench_artifact` automatically), so the perf
+trajectory of the repo is a set of diffable JSON documents instead of
+prose in ``results/*.txt``. Each artifact carries the measurement
+payload (op counts, wall seconds, node footprints, cache hit rates —
+whatever the bench observed), a merged metrics snapshot, and a
+:class:`~repro.obs.manifest.RunManifest` so two artifacts are only
+compared when their provenance says they are comparable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs.encode import json_safe
+from repro.obs.manifest import RunManifest
+
+SCHEMA = "repro.bench-artifact/1"
+
+
+def bench_artifact_path(results_dir: Path | str, name: str) -> Path:
+    return Path(results_dir) / f"BENCH_{name}.json"
+
+
+def write_bench_artifact(
+    results_dir: Path | str,
+    name: str,
+    payload: Mapping[str, Any],
+    manifest: RunManifest | None = None,
+) -> Path:
+    """Write one benchmark's artifact; returns the file path.
+
+    ``payload`` is bench-specific measurement data; it is passed
+    through :func:`~repro.obs.encode.json_safe`, so exact Fractions,
+    dataclasses, and sets are all fine.
+    """
+    path = bench_artifact_path(results_dir, name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "schema": SCHEMA,
+        "name": name,
+        "payload": json_safe(payload),
+        "manifest": (manifest or RunManifest.collect()).to_dict(),
+    }
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def read_bench_artifact(path: Path | str) -> dict[str, Any]:
+    """Load and schema-check one artifact (used by tests and CI)."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if document.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unexpected schema {document.get('schema')!r}"
+        )
+    for key in ("name", "payload", "manifest"):
+        if key not in document:
+            raise ValueError(f"{path}: missing {key!r}")
+    return document

@@ -1,0 +1,75 @@
+"""Structured logging for the ``repro.*`` hierarchy.
+
+One logger tree, one env knob::
+
+    REPRO_LOG=debug python -m repro.experiments fig2
+
+Levels are ``debug`` / ``info`` (default) / ``warning``. Progress
+chatter in the experiment runners goes through these loggers instead
+of stray ``print`` calls; rendered experiment *results* still print to
+stdout (they are the deliverable, not diagnostics).
+
+The handler resolves ``sys.stderr`` at emit time rather than capturing
+the stream object at configuration time, so pytest's ``capsys`` and
+other stream swappers see log output without any re-configuration.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+LOG_ENV = "REPRO_LOG"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+}
+
+_FORMAT = "%(levelname).1s %(name)s: %(message)s"
+
+
+class _DynamicStderrHandler(logging.StreamHandler):
+    """StreamHandler that always writes to the *current* sys.stderr."""
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value):  # StreamHandler.__init__ assigns; ignore
+        pass
+
+
+def env_level(environ=os.environ) -> int:
+    """Level from ``$REPRO_LOG`` (unset or unknown → info)."""
+    return _LEVELS.get(environ.get(LOG_ENV, "").strip().lower(), logging.INFO)
+
+
+def configure_logging(level: int | str | None = None) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` root logger (idempotent).
+
+    ``level`` overrides ``$REPRO_LOG``; repeated calls only adjust the
+    level, never stack handlers.
+    """
+    if isinstance(level, str):
+        level = _LEVELS[level.lower()]
+    root = logging.getLogger("repro")
+    root.setLevel(env_level() if level is None else level)
+    if not any(
+        isinstance(handler, _DynamicStderrHandler) for handler in root.handlers
+    ):
+        handler = _DynamicStderrHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+        root.propagate = False
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (prefix added if missing)."""
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,137 @@
+"""Run manifests: the provenance record written next to every artifact.
+
+A :class:`RunManifest` pins everything needed to reproduce (or refuse
+to compare) a run: the master seed, the scale profile, worker count,
+git SHA, interpreter and platform, the circuit roster, and wall time.
+Experiment outputs gain a sibling ``results/<name>.json`` carrying the
+manifest plus the machine-readable result data; ``BENCH_*.json``
+benchmark artifacts embed one too, so two perf numbers are only ever
+diffed when their manifests say they are comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as _platform
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs.encode import json_safe
+
+SCHEMA = "repro.run-manifest/1"
+
+#: Environment knobs recorded verbatim (when set) — the full set of
+#: switches that can change what a run computes or how it is observed.
+_RECORDED_ENV = (
+    "REPRO_SEED",
+    "REPRO_SCALE",
+    "REPRO_WORKERS",
+    "REPRO_TRACE",
+    "REPRO_LOG",
+    "HYPOTHESIS_PROFILE",
+)
+
+
+def git_sha() -> str | None:
+    """HEAD commit of the working tree, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance of one run (all fields JSON-safe scalars/sequences)."""
+
+    schema: str
+    created_utc: str
+    command: tuple[str, ...]
+    seed: int
+    scale: str | None
+    workers: int | None
+    git_sha: str | None
+    python: str
+    platform: str
+    hostname: str
+    pid: int
+    circuits: tuple[str, ...]
+    wall_seconds: float | None
+    env: Mapping[str, str] = field(default_factory=dict)
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls,
+        scale: Any = None,
+        workers: int | None = None,
+        circuits: tuple[str, ...] | None = None,
+        command: tuple[str, ...] | None = None,
+        wall_seconds: float | None = None,
+        extra: Mapping[str, Any] | None = None,
+    ) -> "RunManifest":
+        """Snapshot the current process (pass the run's ``Scale`` if any).
+
+        ``scale`` duck-types on ``name``/``seed``/``circuits`` so the
+        obs layer stays importable from everywhere below
+        ``experiments``.
+        """
+        scale_name = getattr(scale, "name", None)
+        seed = getattr(scale, "seed", None)
+        if seed is None:
+            try:
+                seed = int(os.environ.get("REPRO_SEED", "0"))
+            except ValueError:
+                seed = 0
+        if circuits is None:
+            circuits = tuple(getattr(scale, "circuits", ()) or ())
+        return cls(
+            schema=SCHEMA,
+            created_utc=time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            command=tuple(command if command is not None else sys.argv),
+            seed=seed,
+            scale=scale_name,
+            workers=workers,
+            git_sha=git_sha(),
+            python=sys.version.split()[0],
+            platform=_platform.platform(),
+            hostname=socket.gethostname(),
+            pid=os.getpid(),
+            circuits=circuits,
+            wall_seconds=wall_seconds,
+            env={
+                name: os.environ[name]
+                for name in _RECORDED_ENV
+                if name in os.environ
+            },
+            extra=dict(extra or {}),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return json_safe(self)
+
+    def write(self, path: Path | str) -> Path:
+        """Serialize as pretty JSON at ``path``; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path

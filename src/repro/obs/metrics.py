@@ -1,0 +1,212 @@
+"""Metrics registry: named counters, gauges, and histograms.
+
+This is the single home for the numeric telemetry that used to be
+smeared across ad-hoc dataclass fields: campaign chunks record into a
+:class:`MetricsRegistry`, and the legacy surfaces —
+:class:`~repro.experiments.campaigns.ChunkStat`,
+:class:`~repro.bdd.cache.ManagerStats` conversions, and
+``telemetry_report()`` — are thin views over registry snapshots.
+
+Three instrument kinds, chosen for their *merge* semantics (the whole
+point of the registry is deterministic aggregation of per-chunk
+payloads shipped home from pool workers):
+
+* **counter** — monotone total; merges by summing. Cache hits, GC
+  sweeps, faults analyzed, CPU seconds.
+* **gauge** — level snapshot; merges by ``max`` (every gauge in this
+  codebase is a peak/footprint: peak nodes, live nodes) or ``last``.
+* **histogram** — summary of an observed distribution (count / sum /
+  min / max); merges by combining the summaries. Per-chunk wall
+  seconds, per-fault costs.
+
+Snapshots are plain JSON-able dicts, so a registry round-trips through
+pickle (worker → driver) and through ``BENCH_*.json`` artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+_GAUGE_MODES = ("max", "last")
+
+
+class Counter:
+    """Monotone numeric total (ints or floats)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time level; ``mode`` picks the merge rule."""
+
+    __slots__ = ("value", "mode")
+
+    def __init__(self, value: float = 0, mode: str = "max") -> None:
+        if mode not in _GAUGE_MODES:
+            raise ValueError(f"gauge mode must be one of {_GAUGE_MODES}")
+        self.value = value
+        self.mode = mode
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def merge(self, value: float) -> None:
+        if self.mode == "max":
+            self.value = max(self.value, value)
+        else:
+            self.value = value
+
+
+class Histogram:
+    """Streaming summary (count/sum/min/max) of observed values."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def combine(self, other: Mapping[str, Any]) -> None:
+        if not other.get("count"):
+            return
+        self.count += other["count"]
+        self.total += other["sum"]
+        for field, pick in (("min", min), ("max", max)):
+            theirs = other.get(field)
+            ours = getattr(self, field)
+            setattr(
+                self, field, theirs if ours is None else pick(ours, theirs)
+            )
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named instruments."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instruments ----------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_fresh(name)
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str, mode: str = "max") -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_fresh(name)
+            instrument = self._gauges[name] = Gauge(mode=mode)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_fresh(name)
+            instrument = self._histograms[name] = Histogram()
+        return instrument
+
+    def _check_fresh(self, name: str) -> None:
+        if (
+            name in self._counters
+            or name in self._gauges
+            or name in self._histograms
+        ):
+            raise ValueError(
+                f"metric {name!r} already registered as a different kind"
+            )
+
+    # -- reading --------------------------------------------------------
+    def counter_value(self, name: str, default: float = 0) -> float:
+        instrument = self._counters.get(name)
+        return default if instrument is None else instrument.value
+
+    def gauge_value(self, name: str, default: float = 0) -> float:
+        instrument = self._gauges.get(name)
+        return default if instrument is None else instrument.value
+
+    def names(self) -> list[str]:
+        return sorted(
+            [*self._counters, *self._gauges, *self._histograms]
+        )
+
+    def ratio(self, numerator: str, denominators: Iterable[str]) -> float:
+        """``numerator / sum(denominators)`` over counters (0 when empty)."""
+        total = sum(self.counter_value(name) for name in denominators)
+        return self.counter_value(numerator) / total if total else 0.0
+
+    # -- snapshot / merge ----------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict copy: picklable, JSON-able, mergeable."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {"value": g.value, "mode": g.mode}
+                for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> "MetricsRegistry":
+        """Fold one snapshot in (sum/max/combine per instrument kind)."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, payload in snapshot.get("gauges", {}).items():
+            self.gauge(name, mode=payload.get("mode", "max")).merge(
+                payload["value"]
+            )
+        for name, summary in snapshot.get("histograms", {}).items():
+            self.histogram(name).combine(summary)
+        return self
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Any]) -> "MetricsRegistry":
+        return cls().merge_snapshot(snapshot)
+
+    @classmethod
+    def merged(
+        cls, snapshots: Iterable[Mapping[str, Any]]
+    ) -> "MetricsRegistry":
+        """Deterministic aggregate of snapshots, in the order given."""
+        registry = cls()
+        for snapshot in snapshots:
+            registry.merge_snapshot(snapshot)
+        return registry

@@ -26,6 +26,7 @@ from fractions import Fraction
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.analysis.observability import pos_fed_by_fault
+from repro.obs.trace import get_tracer
 from repro.circuit.netlist import Circuit
 from repro.core.metrics import (
     Fault,
@@ -60,18 +61,26 @@ class FaultReport:
 
 @dataclass(frozen=True)
 class Violation:
-    """One oracle's verdict that one report breaks one invariant."""
+    """One oracle's verdict that one report breaks one invariant.
+
+    ``span`` is the tracer location open when the check fired (e.g.
+    ``"campaign.run/campaign.chunk"``) — empty-string when tracing is
+    off — so a violation raised deep inside a traced campaign can be
+    matched against the span tree in ``trace.jsonl``.
+    """
 
     oracle: str
     circuit: str
     engine: str
     fault: str
     message: str
+    span: str = ""
 
     def __str__(self) -> str:
+        where = f" (at {self.span})" if self.span else ""
         return (
             f"[{self.oracle}] {self.circuit}/{self.engine} "
-            f"{self.fault}: {self.message}"
+            f"{self.fault}: {self.message}{where}"
         )
 
 
@@ -198,6 +207,7 @@ def check_report(
 ) -> list[Violation]:
     """Run every (selected) oracle against one report."""
     violations: list[Violation] = []
+    where = get_tracer().current_location() or ""
     for name, fn in (oracles or ORACLES).items():
         message = fn(circuit, report)
         if message is not None:
@@ -208,6 +218,7 @@ def check_report(
                     engine=report.engine,
                     fault=str(report.fault),
                     message=message,
+                    span=where,
                 )
             )
     return violations
@@ -237,6 +248,7 @@ def cross_engine_violations(
     relation is transitive, so one anchor suffices).
     """
     violations: list[Violation] = []
+    where = get_tracer().current_location() or ""
     engines = list(reports_by_engine)
     if len(engines) < 2:
         return violations
@@ -255,6 +267,7 @@ def cross_engine_violations(
                         circuit=circuit.name,
                         engine=pair,
                         fault=str(report.fault),
+                        span=where,
                         message=(
                             f"{anchor} says {base.detectability}, "
                             f"{other} says {report.detectability}"
@@ -273,6 +286,7 @@ def cross_engine_violations(
                         circuit=circuit.name,
                         engine=pair,
                         fault=str(report.fault),
+                        span=where,
                         message=(
                             f"{anchor} counts {base.test_count}, "
                             f"{other} counts {report.test_count}"
@@ -290,6 +304,7 @@ def cross_engine_violations(
                         circuit=circuit.name,
                         engine=pair,
                         fault=str(report.fault),
+                        span=where,
                         message=(
                             f"{anchor} observes {sorted(base.observable_pos)}, "
                             f"{other} observes {sorted(report.observable_pos)}"

@@ -1,0 +1,226 @@
+"""Metrics registry semantics and the legacy-telemetry views over it.
+
+Two layers under test: the instruments themselves (counter/gauge/
+histogram merge algebra, snapshot round-trips) and the campaign-side
+projections — ``ChunkStat`` as a view over a chunk registry,
+``CampaignResult.metrics()`` as the single source every legacy
+aggregate (total seconds, peak nodes, cache hit rate, the
+``telemetry_report()`` table) now reads from.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+def test_counter_is_monotone():
+    counter = Counter()
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_merge_modes():
+    peak = Gauge(mode="max")
+    peak.merge(10)
+    peak.merge(4)
+    assert peak.value == 10
+    last = Gauge(mode="last")
+    last.merge(10)
+    last.merge(4)
+    assert last.value == 4
+    with pytest.raises(ValueError):
+        Gauge(mode="sum")
+
+
+def test_histogram_observe_and_combine():
+    hist = Histogram()
+    assert hist.mean == 0.0
+    for value in (3.0, 1.0, 2.0):
+        hist.observe(value)
+    assert (hist.count, hist.total, hist.min, hist.max) == (3, 6.0, 1.0, 3.0)
+    assert hist.mean == 2.0
+    hist.combine({"count": 2, "sum": 10.0, "min": 0.5, "max": 8.0})
+    assert (hist.count, hist.total, hist.min, hist.max) == (5, 16.0, 0.5, 8.0)
+    hist.combine({"count": 0, "sum": 0, "min": None, "max": None})  # no-op
+    assert hist.count == 5
+
+
+def test_registry_rejects_kind_collisions():
+    registry = MetricsRegistry()
+    registry.counter("bdd.cache.hits")
+    with pytest.raises(ValueError):
+        registry.gauge("bdd.cache.hits")
+    with pytest.raises(ValueError):
+        registry.histogram("bdd.cache.hits")
+
+
+def test_registry_ratio():
+    registry = MetricsRegistry()
+    assert registry.ratio("hits", ("hits", "misses")) == 0.0
+    registry.counter("hits").inc(3)
+    registry.counter("misses").inc(1)
+    assert registry.ratio("hits", ("hits", "misses")) == 0.75
+
+
+# ----------------------------------------------------------------------
+# Snapshot / merge algebra
+# ----------------------------------------------------------------------
+counter_maps = st.dictionaries(
+    st.sampled_from(("a", "b", "c")),
+    st.integers(min_value=0, max_value=1000),
+    max_size=3,
+)
+
+
+@given(st.lists(counter_maps, min_size=1, max_size=5))
+def test_merged_counters_equal_columnwise_sums(maps):
+    snapshots = [{"counters": m} for m in maps]
+    merged = MetricsRegistry.merged(snapshots)
+    for name in ("a", "b", "c"):
+        assert merged.counter_value(name) == sum(m.get(name, 0) for m in maps)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1))
+def test_merged_gauges_take_the_max(values):
+    snapshots = [
+        {"gauges": {"peak": {"value": v, "mode": "max"}}} for v in values
+    ]
+    merged = MetricsRegistry.merged(snapshots)
+    assert merged.gauge_value("peak") == max(values)
+
+
+@given(st.lists(counter_maps, min_size=2, max_size=5), st.randoms())
+def test_counter_merge_is_order_invariant(maps, rng):
+    snapshots = [{"counters": m} for m in maps]
+    shuffled = list(snapshots)
+    rng.shuffle(shuffled)
+    assert (
+        MetricsRegistry.merged(snapshots).snapshot()
+        == MetricsRegistry.merged(shuffled).snapshot()
+    )
+
+
+def test_snapshot_roundtrips_json_and_pickle():
+    registry = MetricsRegistry()
+    registry.counter("campaign.faults").inc(7)
+    registry.gauge("bdd.nodes.peak").set(123)
+    registry.histogram("campaign.chunk_seconds").observe(0.25)
+    snapshot = registry.snapshot()
+    assert json.loads(json.dumps(snapshot)) == snapshot
+    assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+    rebuilt = MetricsRegistry.from_snapshot(snapshot)
+    assert rebuilt.snapshot() == snapshot
+
+
+# ----------------------------------------------------------------------
+# ChunkStat as a registry view
+# ----------------------------------------------------------------------
+def _stat(**overrides):
+    from repro.experiments.campaigns import ChunkStat
+
+    base = dict(
+        index=2,
+        num_faults=40,
+        seconds=1.5,
+        peak_nodes=9000,
+        worker_pid=4242,
+        live_nodes=800,
+        reclaimed_nodes=300,
+        gc_runs=2,
+        rebuilds=0,
+        cache_hits=60,
+        cache_misses=40,
+        cache_evictions=5,
+    )
+    base.update(overrides)
+    return ChunkStat(**base)
+
+
+def test_chunkstat_metrics_roundtrip():
+    from repro.experiments.campaigns import ChunkStat
+
+    stat = _stat()
+    registry = stat.to_metrics()
+    assert registry.counter_value("campaign.faults") == 40
+    assert registry.gauge_value("bdd.nodes.peak") == 9000
+    back = ChunkStat.from_metrics(registry, index=stat.index, worker_pid=4242)
+    assert back == stat
+    assert back.cache_hit_rate == 0.6
+
+
+def test_campaign_aggregates_are_views_over_metrics():
+    from repro.circuit import CircuitBuilder
+    from repro.experiments.campaigns import CampaignResult, FaultResult
+    from repro.faults.lines import Line
+    from repro.faults.stuck_at import StuckAtFault
+
+    builder = CircuitBuilder("tiny")
+    a, b = builder.inputs("a", "b")
+    builder.output(builder.and_(a, b, name="y"))
+    circuit = builder.build()
+
+    results = (
+        FaultResult(
+            fault=StuckAtFault(Line("a"), True),
+            detectability=Fraction(1, 4),
+            upper_bound=Fraction(1, 2),
+            observable_pos=frozenset({"y"}),
+        ),
+        FaultResult(
+            fault=StuckAtFault(Line("y"), False),
+            detectability=Fraction(0),
+            upper_bound=Fraction(1, 4),
+            observable_pos=frozenset(),
+        ),
+    )
+    chunks = (
+        _stat(index=0, seconds=1.0, peak_nodes=5000, cache_hits=30, cache_misses=10),
+        _stat(index=1, seconds=0.5, peak_nodes=9000, cache_hits=30, cache_misses=30),
+    )
+    campaign = CampaignResult(
+        circuit=circuit, results=results, exact=True, chunk_stats=chunks
+    )
+
+    assert campaign.total_seconds() == pytest.approx(1.5)
+    assert campaign.peak_nodes() == 9000  # max across chunks
+    assert campaign.live_nodes() == 800
+    assert campaign.reclaimed_nodes() == 600  # summed
+    assert campaign.gc_runs() == 4
+    assert campaign.rebuilds() == 0
+    assert campaign.cache_hit_rate() == pytest.approx(60 / 100)
+
+    registry = campaign.metrics()
+    assert registry.counter_value("campaign.results") == 2
+    assert registry.counter_value("campaign.detectable") == 1
+    chunk_seconds = registry.histogram("campaign.chunk_seconds")
+    assert chunk_seconds.count == 2
+    assert chunk_seconds.summary()["max"] == 1.0
+
+
+def test_telemetry_report_renders_from_metrics():
+    from repro.experiments import campaigns
+    from repro.experiments.config import get_scale
+
+    campaigns.clear_campaign_caches()
+    try:
+        campaigns.stuck_at_campaign("c17", get_scale("smoke"))
+        lines = campaigns.telemetry_report()
+    finally:
+        campaigns.clear_campaign_caches()
+    assert any(line.lstrip().startswith("circuit") for line in lines)
+    row = next(line for line in lines if "c17" in line)
+    assert "stuck-at" in row and "%" in row

@@ -233,6 +233,86 @@ def test_failed_chunk_retires_pool_without_leaking_workers():
     assert again.results == _serial_reference("c95", "stuck_at").results
 
 
+def test_serial_and_parallel_metric_totals_agree():
+    """The metrics registry must aggregate identically however the
+    campaign was scheduled: fault counts, result-derived counters and
+    per-chunk histogram coverage are pure functions of the fault list.
+    (Cache hit/miss totals are *not* compared — each pool worker owns a
+    private manager, so those depend on chunk placement by design.)"""
+    from repro import obs
+
+    campaigns.clear_campaign_caches()
+    circuit, faults = _fault_list("c95", "stuck_at")
+    serial = campaigns._run(circuit, "c95", SCALE, faults, bridging=False)
+    par = parallel.run_campaign(
+        circuit, "c95", SCALE, faults, bridging=False, n_workers=2
+    )
+    sm, pm = serial.metrics(), par.metrics()
+    for name in ("campaign.faults", "campaign.results", "campaign.detectable"):
+        assert sm.counter_value(name) == pm.counter_value(name) == len(faults)
+    # Histograms cover every chunk on both paths.
+    assert sm.histogram("campaign.chunk_seconds").count == len(
+        serial.chunk_stats
+    )
+    assert pm.histogram("campaign.chunk_seconds").count == len(par.chunk_stats)
+    # ChunkStat stays a faithful round-trip view on both paths.
+    for result in (serial, par):
+        for stat in result.chunk_stats:
+            rebuilt = campaigns.ChunkStat.from_metrics(
+                stat.to_metrics(), index=stat.index, worker_pid=stat.worker_pid
+            )
+            assert rebuilt == stat
+    # And merging the per-chunk snapshots is order-invariant, so worker
+    # completion order can never change the aggregate.
+    snapshots = [s.to_metrics().snapshot() for s in par.chunk_stats]
+    forward = obs.MetricsRegistry.merged(snapshots).snapshot()
+    backward = obs.MetricsRegistry.merged(reversed(snapshots)).snapshot()
+    assert forward == backward
+
+
+@pytest.mark.parametrize("n_workers", (1, 2))
+def test_traced_campaign_merges_worker_spans_in_index_order(n_workers):
+    """Chunk spans captured in pool workers must come home and land in
+    the driver's trace in shard-index order, under the campaign span."""
+    from repro import obs
+
+    campaigns.clear_campaign_caches()  # fresh pool → workers see tracer
+    circuit, faults = _fault_list("c95", "stuck_at")
+    prev = obs.get_tracer()
+    try:
+        tracer = obs.Tracer()
+        obs.set_tracer(tracer)
+        with obs.span("campaign.run", circuit="c95") as root:
+            par = parallel.run_campaign(
+                circuit,
+                "c95",
+                SCALE,
+                faults,
+                bridging=False,
+                n_workers=n_workers,
+            )
+    finally:
+        obs.set_tracer(prev)
+        campaigns.clear_campaign_caches()
+
+    chunk_events = [
+        e for e in tracer.events if e["name"] == "campaign.chunk"
+    ]
+    assert [e["attrs"]["index"] for e in chunk_events] == list(
+        range(len(par.chunk_stats))
+    )
+    assert all(e["parent"] == root.id for e in chunk_events)
+    analyses = [
+        e for e in tracer.events if e["name"] == "dp.compute_test_set"
+    ]
+    assert len(analyses) == len(faults)
+    ids = [e["id"] for e in tracer.events]
+    assert len(set(ids)) == len(ids), "absorb must remap worker span ids"
+    if n_workers > 1:
+        assert {e["pid"] for e in chunk_events} != {os.getpid()}
+    assert par.results == _serial_reference("c95", "stuck_at").results
+
+
 def test_pool_resizes_when_worker_count_changes():
     circuit, faults = _fault_list("c95", "stuck_at")
     parallel.run_campaign(
