@@ -2,7 +2,8 @@ PYTHON ?= python
 
 .PHONY: install test test-all test-parallel test-gc verify verify-full coverage bench bench-parallel bench-gc bench-obs experiments experiments-paper trace-demo examples clean
 
-# line-coverage floor enforced on the core engine and the verify layer
+# line-coverage floor enforced on the core engine, the verify layer and
+# the simulation engines (including the bit-parallel kernel)
 COV_FLOOR ?= 80
 
 install:
@@ -31,7 +32,7 @@ coverage:
 		{ echo "pytest-cov is not installed; run 'pip install pytest-cov'" \
 		  "(or 'pip install -e .[dev]') first"; exit 1; }
 	$(PYTHON) -m pytest tests/ -m "not slow" \
-		--cov=repro.core --cov=repro.verify \
+		--cov=repro.core --cov=repro.verify --cov=repro.simulation \
 		--cov-report=term-missing --cov-fail-under=$(COV_FLOOR)
 
 bench:

@@ -122,6 +122,9 @@ def _bench_artifact(request, results_dir, scale):
             "bdd.cache.hits", ("bdd.cache.hits", "bdd.cache.misses")
         ),
     }
+    # A bench module can publish extra artifact fields (e.g. measured
+    # speedups) by filling a module-level ``BENCH_EXTRA`` dict.
+    payload.update(getattr(request.module, "BENCH_EXTRA", {}))
     obs.write_bench_artifact(
         results_dir,
         name,

@@ -1,0 +1,126 @@
+"""The tentpole acceptance bench: vectorized kernel vs the scalar word engine.
+
+Races the bit-parallel numpy kernel against the scalar big-int
+random-pattern simulator on the full collapsed stuck-at campaign of
+C432 — 464 faults, the same 1024 shared random patterns on both sides
+— and asserts a ≥5× wall-clock speedup alongside bit-identical
+detection counts. Timing uses min-of-N with the garbage collector
+paused, the standard defense against allocator noise on runs this
+short.
+
+The module also drives one bit-parallel *campaign* through the
+experiments layer so the ``results/BENCH_bitparallel.json`` artifact
+(written by the ``_bench_artifact`` conftest fixture) carries the
+kernel's words-simulated/batch telemetry and the campaign roster next
+to the measured speedup (published via ``BENCH_EXTRA``).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.benchcircuits import get_circuit  # noqa: E402
+from repro.experiments import campaigns  # noqa: E402
+from repro.faults.stuck_at import collapsed_checkpoint_faults  # noqa: E402
+from repro.simulation import packing  # noqa: E402
+from repro.simulation.bitparallel import BitParallelSimulator  # noqa: E402
+from repro.simulation.random_sim import RandomPatternSimulator  # noqa: E402
+
+CIRCUIT = "c432"
+NUM_PATTERNS = 1024
+BATCH_SIZE = 256
+REPEATS = 7
+SPEEDUP_FLOOR = 5.0
+
+#: Extra fields for results/BENCH_bitparallel.json (see conftest).
+BENCH_EXTRA: dict = {}
+
+
+def _min_time(fn, repeats=REPEATS):
+    """Best-of-N wall time with the cyclic GC paused."""
+    best = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best
+
+
+def test_bitparallel_speedup_over_scalar_engine(repro_seed):
+    circuit = get_circuit(CIRCUIT)
+    faults = collapsed_checkpoint_faults(circuit)
+    scalar = RandomPatternSimulator(
+        circuit, num_patterns=NUM_PATTERNS, seed=repro_seed
+    )
+    # both engines consume the *same* pattern set, bit for bit
+    input_words = {
+        net: packing.pack_word(scalar._inputs[net], NUM_PATTERNS)
+        for net in circuit.inputs
+    }
+    kernel = BitParallelSimulator(
+        circuit,
+        input_words=input_words,
+        num_vectors=NUM_PATTERNS,
+        batch_size=BATCH_SIZE,
+    )
+
+    # correctness first: identical detection counts fault-for-fault
+    outcomes = kernel.simulate(faults)
+    for fault, outcome in zip(faults, outcomes):
+        expected = bin(scalar.detection_word(fault)).count("1")
+        assert outcome.detection_count == expected, str(fault)
+
+    scalar_seconds = _min_time(
+        lambda: [scalar.detection_word(fault) for fault in faults]
+    )
+    kernel_seconds = _min_time(lambda: kernel.simulate(faults))
+    speedup = scalar_seconds / kernel_seconds
+
+    BENCH_EXTRA.update(
+        {
+            "engine": "bitparallel",
+            "circuit": CIRCUIT,
+            "faults": len(faults),
+            "patterns": NUM_PATTERNS,
+            "batch_size": BATCH_SIZE,
+            "timing_repeats": REPEATS,
+            "scalar_seconds": scalar_seconds,
+            "bitparallel_seconds": kernel_seconds,
+            "speedup_vs_scalar": speedup,
+        }
+    )
+    print(
+        f"\nc432/{len(faults)} faults/{NUM_PATTERNS} patterns: "
+        f"scalar {scalar_seconds * 1e3:.1f} ms, "
+        f"kernel {kernel_seconds * 1e3:.1f} ms, {speedup:.1f}x"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"bit-parallel kernel only {speedup:.2f}x faster than the scalar "
+        f"engine (floor: {SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_bitparallel_campaign_feeds_artifact(scale):
+    """Run the C432 stuck-at campaign through the bitparallel route so
+    the module artifact's roster and kernel telemetry are populated."""
+    result = campaigns.stuck_at_campaign(
+        CIRCUIT, scale, engine="bitparallel"
+    )
+    assert len(result.results) == len(
+        collapsed_checkpoint_faults(get_circuit(CIRCUIT))
+    )
+    assert not result.exact  # Monte-Carlo beyond the exhaustive frontier
+    assert sum(stat.words_simulated for stat in result.chunk_stats) > 0
+    detected = sum(1 for r in result.results if r.detectability > 0)
+    assert detected > 400  # nearly every collapsed fault is detectable

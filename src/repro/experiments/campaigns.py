@@ -59,7 +59,8 @@ class FaultResult:
 
 
 #: ChunkStat field ↔ registry metric name, for the counter-like fields
-#: that merge by summing across chunks.
+#: that merge by summing across chunks. The ``sim.*`` names report the
+#: bit-parallel kernel's work (zero on OBDD chunks, and vice versa).
 CHUNK_COUNTER_METRICS: dict[str, str] = {
     "num_faults": "campaign.faults",
     "seconds": "campaign.seconds",
@@ -69,6 +70,8 @@ CHUNK_COUNTER_METRICS: dict[str, str] = {
     "cache_hits": "bdd.cache.hits",
     "cache_misses": "bdd.cache.misses",
     "cache_evictions": "bdd.cache.evictions",
+    "words_simulated": "sim.words_simulated",
+    "batches": "sim.batches",
 }
 
 #: ChunkStat field ↔ registry metric name for the peak/footprint gauges
@@ -76,6 +79,7 @@ CHUNK_COUNTER_METRICS: dict[str, str] = {
 CHUNK_GAUGE_METRICS: dict[str, str] = {
     "peak_nodes": "bdd.nodes.peak",
     "live_nodes": "bdd.nodes.live",
+    "batch_size": "sim.batch_size",
 }
 
 
@@ -114,6 +118,12 @@ class ChunkStat:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    #: bit-parallel kernel work: 64-bit words swept and batches run
+    #: during this chunk (zero on OBDD chunks), plus the kernel's
+    #: fault-batch height
+    words_simulated: int = 0
+    batches: int = 0
+    batch_size: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -216,9 +226,17 @@ CAMPAIGN_GC_LIMIT = 50_000
 #: populations far smaller, campaigns should never reach this.
 CAMPAIGN_REBUILD_LIMIT = 2_500_000
 
+#: Exhaustive frontier for the bit-parallel campaign engine; beyond it
+#: the kernel runs a seeded random-pattern sample instead.
+BITPARALLEL_EXHAUSTIVE_LIMIT = 14
+
+#: Sampled vector count for bitparallel campaigns beyond the frontier.
+BITPARALLEL_SAMPLE_VECTORS = 1024
+
 _functions_cache: dict[tuple[str, int | None, str], CircuitFunctions] = {}
-_stuck_cache: dict[tuple[str, str], CampaignResult] = {}
-_bridge_cache: dict[tuple[str, str, str], CampaignResult] = {}
+_stuck_cache: dict[tuple[str, str, str], CampaignResult] = {}
+_bridge_cache: dict[tuple[str, str, str, str], CampaignResult] = {}
+_bitparallel_cache: dict[tuple[str, str], object] = {}
 
 
 def circuit_functions(name: str, scale: Scale) -> CircuitFunctions:
@@ -247,6 +265,7 @@ def clear_campaign_caches() -> None:
     _functions_cache.clear()
     _stuck_cache.clear()
     _bridge_cache.clear()
+    _bitparallel_cache.clear()
     parallel.shutdown_pool()
 
 
@@ -259,23 +278,25 @@ def telemetry_report() -> list[str]:
     computed-table hit rate. Each row is a rendering of the campaign's
     merged :meth:`CampaignResult.metrics` registry.
     """
-    rows: list[tuple[str, str, str, CampaignResult]] = []
-    for (name, scale_name), result in sorted(_stuck_cache.items()):
-        rows.append((name, "stuck-at", scale_name, result))
-    for (name, kind, scale_name), result in sorted(_bridge_cache.items()):
-        rows.append((name, f"bridge/{kind}", scale_name, result))
+    rows: list[tuple[str, str, str, str, CampaignResult]] = []
+    for (name, scale_name, engine), result in sorted(_stuck_cache.items()):
+        rows.append((name, "stuck-at", scale_name, engine, result))
+    for (name, kind, scale_name, engine), result in sorted(
+        _bridge_cache.items()
+    ):
+        rows.append((name, f"bridge/{kind}", scale_name, engine, result))
     if not rows:
         return ["campaign telemetry: no campaigns cached in this process"]
     lines = [
         "campaign telemetry (per cached campaign):",
-        f"{'circuit':<10} {'model':<12} {'faults':>6} {'sec':>8} "
-        f"{'peak':>9} {'live':>8} {'reclaimed':>9} {'gc':>4} "
+        f"{'circuit':<10} {'model':<12} {'engine':<11} {'faults':>6} "
+        f"{'sec':>8} {'peak':>9} {'live':>8} {'reclaimed':>9} {'gc':>4} "
         f"{'rebuilds':>8} {'cache-hit%':>10}",
     ]
-    for name, model, _scale_name, result in rows:
+    for name, model, _scale_name, engine, result in rows:
         metrics = result.metrics()
         lines.append(
-            f"{name:<10} {model:<12} "
+            f"{name:<10} {model:<12} {engine:<11} "
             f"{int(metrics.counter_value('campaign.results')):>6} "
             f"{metrics.counter_value('campaign.seconds'):>8.2f} "
             f"{int(metrics.gauge_value('bdd.nodes.peak')):>9} "
@@ -288,16 +309,33 @@ def telemetry_report() -> list[str]:
     return lines
 
 
+def _resolve_engine(scale: Scale, engine: str | None) -> str:
+    """The campaign engine for one call: explicit arg, else the scale."""
+    from repro.experiments.config import CAMPAIGN_ENGINES
+
+    resolved = engine if engine is not None else scale.effective_engine()
+    if resolved not in CAMPAIGN_ENGINES:
+        raise KeyError(
+            f"unknown campaign engine {resolved!r}; "
+            f"known: {', '.join(CAMPAIGN_ENGINES)}"
+        )
+    return resolved
+
+
 def stuck_at_campaign(
-    name: str, scale: Scale, workers: int | None = None
+    name: str,
+    scale: Scale,
+    workers: int | None = None,
+    engine: str | None = None,
 ) -> CampaignResult:
     """Collapsed checkpoint faults of circuit ``name`` under ``scale``.
 
-    ``workers`` overrides the scale's worker policy for this call; the
-    cache is shared between serial and parallel runs because their
-    results are identical.
+    ``workers`` overrides the scale's worker policy for this call and
+    ``engine`` its engine policy; the cache is shared between serial
+    and parallel runs because their results are identical.
     """
-    key = (name, scale.name)
+    engine = _resolve_engine(scale, engine)
+    key = (name, scale.name, engine)
     if key in _stuck_cache:
         return _stuck_cache[key]
     circuit = get_circuit(name)
@@ -306,20 +344,25 @@ def stuck_at_campaign(
     if limit is not None and limit < len(faults):
         rng = random.Random(scale.seed)
         faults = sorted(rng.sample(list(faults), limit))
-    result = _dispatch(circuit, name, scale, faults, False, workers)
+    result = _dispatch(circuit, name, scale, faults, False, workers, engine)
     _stuck_cache[key] = result
     return result
 
 
 def bridging_campaign(
-    name: str, kind: BridgeKind, scale: Scale, workers: int | None = None
+    name: str,
+    kind: BridgeKind,
+    scale: Scale,
+    workers: int | None = None,
+    engine: str | None = None,
 ) -> CampaignResult:
     """Potentially detectable NFBFs of one dominance under ``scale``.
 
     Large circuits use the paper's distance-weighted exponential
     sampling (seeded); small circuits use the complete set.
     """
-    key = (name, kind.value, scale.name)
+    engine = _resolve_engine(scale, engine)
+    key = (name, kind.value, scale.name, engine)
     if key in _bridge_cache:
         return _bridge_cache[key]
     circuit = get_circuit(name)
@@ -332,7 +375,7 @@ def bridging_campaign(
         faults: Sequence[Fault] = [s.fault for s in sampled]
     else:
         faults = candidates
-    result = _dispatch(circuit, name, scale, faults, True, workers)
+    result = _dispatch(circuit, name, scale, faults, True, workers, engine)
     _bridge_cache[key] = result
     return result
 
@@ -344,12 +387,17 @@ def _dispatch(
     faults: Sequence[Fault],
     bridging: bool,
     workers: int | None,
+    engine: str = "dp",
 ) -> CampaignResult:
     """Route one campaign to the serial or the parallel executor."""
     from repro.experiments import parallel
 
     requested = workers if workers is not None else scale.effective_workers()
     n_workers = parallel.effective_workers(requested, circuit, len(faults))
+    if engine == "bitparallel":
+        # the kernel is already fault-parallel inside one process;
+        # process fan-out would only duplicate the packed good words
+        n_workers = 1
     with obs.span(
         "campaign.run",
         circuit=name,
@@ -357,6 +405,7 @@ def _dispatch(
         scale=scale.name,
         faults=len(faults),
         workers=n_workers,
+        engine=engine,
     ):
         if n_workers > 1:
             return parallel.run_campaign(
@@ -366,8 +415,9 @@ def _dispatch(
                 faults,
                 bridging=bridging,
                 n_workers=n_workers,
+                engine=engine,
             )
-        return _run(circuit, name, scale, faults, bridging)
+        return _run(circuit, name, scale, faults, bridging, engine)
 
 
 def analyze_faults(
@@ -470,7 +520,32 @@ def store_engine_functions(
     return functions
 
 
-def run_chunk_body(
+def _bitparallel_simulator(name: str, scale: Scale):
+    """Shared kernel instance per (circuit, scale): exhaustive inside
+    the frontier, a seeded random-pattern sample beyond it."""
+    from repro.simulation import packing
+    from repro.simulation.bitparallel import BitParallelSimulator
+
+    key = (name, scale.name)
+    sim = _bitparallel_cache.get(key)
+    if sim is None:
+        circuit = get_circuit(name)
+        if circuit.num_inputs <= BITPARALLEL_EXHAUSTIVE_LIMIT:
+            sim = BitParallelSimulator(circuit)
+        else:
+            words = packing.random_input_words(
+                circuit.inputs, BITPARALLEL_SAMPLE_VECTORS, seed=scale.seed
+            )
+            sim = BitParallelSimulator(
+                circuit,
+                input_words=words,
+                num_vectors=BITPARALLEL_SAMPLE_VECTORS,
+            )
+        _bitparallel_cache[key] = sim
+    return sim
+
+
+def _bitparallel_chunk_body(
     circuit: Circuit,
     name: str,
     scale: Scale,
@@ -478,13 +553,78 @@ def run_chunk_body(
     bridging: bool,
     index: int,
 ) -> tuple[tuple[FaultResult, ...], bool, ChunkStat]:
+    """One shard on the vectorized kernel instead of the OBDD engine.
+
+    Exact (``exact=True``) when the circuit fits the exhaustive
+    frontier; a seeded Monte-Carlo estimate otherwise. Bridging
+    stuck-at equivalence needs symbolic analysis, so the kernel leaves
+    ``stuck_at_equivalent`` as ``None``.
+    """
+    with obs.span(
+        "campaign.chunk",
+        circuit=name,
+        index=index,
+        faults=len(faults),
+        engine="bitparallel",
+    ):
+        start = time.perf_counter()
+        sim = _bitparallel_simulator(name, scale)
+        words_before = sim.words_simulated
+        batches_before = sim.batches_run
+        outcomes = sim.simulate(list(faults))
+        records = tuple(
+            FaultResult(
+                fault=fault,
+                detectability=Fraction(
+                    outcome.detection_count, sim.num_vectors
+                ),
+                upper_bound=sim.upper_bound(fault),
+                observable_pos=outcome.observable_pos,
+                stuck_at_equivalent=None,
+            )
+            for fault, outcome in zip(faults, outcomes)
+        )
+        exact = circuit.num_inputs <= BITPARALLEL_EXHAUSTIVE_LIMIT
+        registry = obs.MetricsRegistry()
+        registry.counter("campaign.faults").inc(len(faults))
+        registry.counter("campaign.seconds").inc(
+            time.perf_counter() - start
+        )
+        registry.counter("sim.words_simulated").inc(
+            sim.words_simulated - words_before
+        )
+        registry.counter("sim.batches").inc(
+            sim.batches_run - batches_before
+        )
+        registry.gauge("sim.batch_size").set(sim.batch_size)
+        stat = ChunkStat.from_metrics(
+            registry, index=index, worker_pid=os.getpid()
+        )
+    return records, exact, stat
+
+
+def run_chunk_body(
+    circuit: Circuit,
+    name: str,
+    scale: Scale,
+    faults: Sequence[Fault],
+    bridging: bool,
+    index: int,
+    engine: str = "dp",
+) -> tuple[tuple[FaultResult, ...], bool, ChunkStat]:
     """Analyze one shard and report (records, exactness, stat).
 
     The single implementation behind the serial path and every pool
     worker: builds (or cache-hits) the circuit's functions, runs the
     per-fault loop under a ``campaign.chunk`` span, and projects the
-    chunk's metrics registry onto a :class:`ChunkStat`.
+    chunk's metrics registry onto a :class:`ChunkStat`. The
+    ``bitparallel`` engine swaps the OBDD loop for one vectorized
+    batch sweep.
     """
+    if engine == "bitparallel":
+        return _bitparallel_chunk_body(
+            circuit, name, scale, faults, bridging, index
+        )
     with obs.span(
         "campaign.chunk", circuit=name, index=index, faults=len(faults)
     ):
@@ -518,9 +658,10 @@ def _run(
     scale: Scale,
     faults: Sequence[Fault],
     bridging: bool,
+    engine: str = "dp",
 ) -> CampaignResult:
     records, exact, stat = run_chunk_body(
-        circuit, name, scale, faults, bridging, index=0
+        circuit, name, scale, faults, bridging, index=0, engine=engine
     )
     return CampaignResult(
         circuit=circuit,

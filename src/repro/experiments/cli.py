@@ -34,7 +34,7 @@ def main(argv: list[str] | None = None) -> int:
     import os
 
     from repro.experiments import ALL_EXPERIMENTS
-    from repro.experiments.config import SCALES, get_scale
+    from repro.experiments.config import CAMPAIGN_ENGINES, SCALES, get_scale
 
     obs.configure_logging()
     parser = argparse.ArgumentParser(
@@ -60,6 +60,12 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="worker processes for fault campaigns (default: "
         "$REPRO_WORKERS or serial; tiny circuits stay serial regardless)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=CAMPAIGN_ENGINES,
+        default=None,
+        help="fault-campaign engine (default: $REPRO_ENGINE or 'dp')",
     )
     parser.add_argument(
         "--out",
@@ -110,6 +116,8 @@ def main(argv: list[str] | None = None) -> int:
     scale = get_scale(args.scale)
     if args.workers is not None:
         scale = dataclasses.replace(scale, workers=args.workers)
+    if args.engine is not None:
+        scale = dataclasses.replace(scale, engine=args.engine)
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
@@ -130,10 +138,11 @@ def main(argv: list[str] | None = None) -> int:
         artifact_dir.mkdir(parents=True, exist_ok=True)
 
     log.info(
-        "scale: %s  circuits: %s%s%s",
+        "scale: %s  circuits: %s%s%s%s",
         scale.name,
         ", ".join(scale.circuits),
         f"  workers: {args.workers}" if args.workers else "",
+        f"  engine: {scale.engine}" if scale.engine else "",
         "  tracing: on" if tracing else "",
     )
     failures = 0

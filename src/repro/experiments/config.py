@@ -58,6 +58,11 @@ class Scale:
     #: on tiny circuits fall back to serial regardless — results are
     #: bit-identical either way (see ``repro.experiments.parallel``).
     workers: int | None = None
+    #: campaign engine: ``"dp"`` (exact OBDD Δ-propagation, default) or
+    #: ``"bitparallel"`` (the vectorized kernel — exact on exhaustive
+    #: circuits, sampled beyond them). ``None`` defers to the
+    #: ``$REPRO_ENGINE`` environment variable, then ``"dp"``.
+    engine: str | None = None
 
     def stuck_at_limit(self, circuit: str) -> int | None:
         return self.stuck_at_samples.get(circuit)
@@ -77,6 +82,12 @@ class Scale:
             return max(1, self.workers)
         return env_workers()
 
+    def effective_engine(self) -> str:
+        """Campaign engine: explicit field, else ``$REPRO_ENGINE``."""
+        if self.engine is not None:
+            return self.engine
+        return env_engine()
+
 
 def env_workers() -> int:
     """Worker count from ``$REPRO_WORKERS`` (unset/invalid → 1, serial)."""
@@ -85,6 +96,23 @@ def env_workers() -> int:
         return max(1, int(raw))
     except ValueError:
         return 1
+
+
+#: Engines the campaign layer can route to.
+CAMPAIGN_ENGINES = ("dp", "bitparallel")
+
+
+def env_engine() -> str:
+    """Campaign engine from ``$REPRO_ENGINE`` (unset/empty → ``"dp"``)."""
+    raw = os.environ.get("REPRO_ENGINE", "").strip()
+    if not raw:
+        return "dp"
+    if raw not in CAMPAIGN_ENGINES:
+        raise KeyError(
+            f"unknown $REPRO_ENGINE {raw!r}; "
+            f"known: {', '.join(CAMPAIGN_ENGINES)}"
+        )
+    return raw
 
 
 SCALES: dict[str, Scale] = {

@@ -75,6 +75,8 @@ class CampaignSpec:
     bridging: bool
     faults: tuple[Fault, ...]
     index: int = 0
+    #: campaign engine the worker must run ("dp" or "bitparallel")
+    engine: str = "dp"
 
 
 @dataclass(frozen=True)
@@ -148,6 +150,7 @@ def run_chunk(spec: CampaignSpec) -> ChunkResult:
             spec.faults,
             spec.bridging,
             index=spec.index,
+            engine=spec.engine,
         )
     return ChunkResult(
         index=spec.index,
@@ -202,16 +205,17 @@ def run_campaign(
     bridging: bool,
     n_workers: int,
     chunk_size: int | None = None,
+    engine: str = "dp",
 ) -> CampaignResult:
     """Fan a fault list over the pool and merge the chunks in order."""
     if n_workers <= 1:
         chunks = shard_faults(faults, chunk_size or max(1, len(faults)))
-        specs = _specs(name, scale, bridging, chunks)
+        specs = _specs(name, scale, bridging, chunks, engine)
         return merge_chunk_results(circuit, [run_chunk(s) for s in specs])
     if chunk_size is None:
         chunk_size = default_chunk_size(len(faults), n_workers)
     chunks = shard_faults(faults, chunk_size)
-    specs = _specs(name, scale, bridging, chunks)
+    specs = _specs(name, scale, bridging, chunks, engine)
     pool = _executor(n_workers)
     futures: list[Future[ChunkResult]] = [
         pool.submit(run_chunk, spec) for spec in specs
@@ -232,6 +236,7 @@ def _specs(
     scale: Scale,
     bridging: bool,
     chunks: Sequence[tuple[Fault, ...]],
+    engine: str = "dp",
 ) -> list[CampaignSpec]:
     return [
         CampaignSpec(
@@ -240,6 +245,7 @@ def _specs(
             bridging=bridging,
             faults=chunk,
             index=i,
+            engine=engine,
         )
         for i, chunk in enumerate(chunks)
     ]

@@ -12,8 +12,12 @@ Difference Propagation:
 * :mod:`~repro.simulation.random_sim` — Monte-Carlo detectability
   estimation with packed random vectors, for the circuits exhaustive
   simulation cannot reach.
+* :mod:`~repro.simulation.bitparallel` — the vectorized kernel: whole
+  fault batches as numpy bit-matrices (faults × 64-bit vector words),
+  one sweep per batch. Only available when numpy is importable; the
+  scalar engines carry the suite otherwise.
 
-Both support stuck-at (stem and branch) and bridging fault injection
+All support stuck-at (stem and branch) and bridging fault injection
 through the shared :mod:`~repro.simulation.injection` layer.
 """
 
@@ -22,6 +26,18 @@ from repro.simulation.random_sim import RandomPatternSimulator
 from repro.simulation.injection import FaultInjection, injection_for
 from repro.simulation.single import detects, evaluate_with_fault
 
+try:  # numpy is an optional accelerator, not a hard dependency
+    from repro.simulation.bitparallel import (
+        BitParallelSimulator,
+        FaultOutcome,
+    )
+
+    HAVE_BITPARALLEL = True
+except ImportError:  # pragma: no cover - exercised only without numpy
+    BitParallelSimulator = None  # type: ignore[assignment, misc]
+    FaultOutcome = None  # type: ignore[assignment, misc]
+    HAVE_BITPARALLEL = False
+
 __all__ = [
     "TruthTableSimulator",
     "RandomPatternSimulator",
@@ -29,4 +45,7 @@ __all__ = [
     "injection_for",
     "detects",
     "evaluate_with_fault",
+    "BitParallelSimulator",
+    "FaultOutcome",
+    "HAVE_BITPARALLEL",
 ]

@@ -1,0 +1,148 @@
+"""Bit-matrix packing for the vectorized fault-simulation kernel.
+
+The bit-parallel kernel (:mod:`repro.simulation.bitparallel`) keeps the
+value of every net as a numpy matrix of 64-bit words: axis 0 is the
+*fault lane* (one simulated faulty machine per row), axis 1 is the
+*vector word* (64 input vectors per column). This module owns the
+packing layout so the kernel, its tests and the seeded-defect
+self-check all agree on one definition:
+
+* bit ``v`` of the flat word stream is input vector ``v`` — the same
+  convention as the big-int words of
+  :class:`~repro.simulation.truthtable.TruthTableSimulator`;
+* word ``w`` holds vectors ``64*w .. 64*w + 63``, vector ``64*w + j``
+  at bit ``j`` (little-endian throughout);
+* the final word is *tail-masked*: bits past ``num_vectors`` are kept
+  at zero by every kernel operation, so popcounts never see garbage.
+
+:func:`pack_word`/:func:`unpack_word` convert between the kernel's
+word arrays and the exhaustive simulator's Python-int truth tables,
+which makes bit-identical cross-checks (and the pack→unpack round-trip
+property in ``tests/test_bitparallel_packing.py``) one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, TypeVar
+
+import numpy as np
+
+#: Bits per packed word — the kernel's lane width along the vector axis.
+WORD_BITS = 64
+
+_T = TypeVar("_T")
+
+
+def num_words(num_vectors: int) -> int:
+    """Packed 64-bit words needed to hold ``num_vectors`` bits."""
+    if num_vectors < 1:
+        raise ValueError("num_vectors must be positive")
+    return -(-num_vectors // WORD_BITS)
+
+
+def word_mask(num_vectors: int) -> np.ndarray:
+    """All-ones word array with the tail word truncated to the last vector.
+
+    The kernel ANDs complements against this so bits past
+    ``num_vectors`` stay zero (the vectorized analog of the scalar
+    engine's ``mask`` argument).
+    """
+    words = num_words(num_vectors)
+    mask = np.full(words, np.iinfo(np.uint64).max, dtype=np.uint64)
+    tail = num_vectors % WORD_BITS
+    if tail:
+        mask[-1] = np.uint64((1 << tail) - 1)
+    return mask
+
+
+def pack_word(word: int, num_vectors: int) -> np.ndarray:
+    """Pack a big-int truth-table word into a ``(num_words,)`` array.
+
+    Bit ``v`` of ``word`` (vector ``v``) lands at bit ``v % 64`` of
+    array element ``v // 64``. Bits at or above ``num_vectors`` are
+    discarded.
+    """
+    words = num_words(num_vectors)
+    word &= (1 << num_vectors) - 1
+    raw = word.to_bytes(words * (WORD_BITS // 8), "little")
+    return np.frombuffer(raw, dtype="<u8").astype(np.uint64)
+
+
+def unpack_word(packed: np.ndarray, num_vectors: int) -> int:
+    """Inverse of :func:`pack_word`: array back to a Python int."""
+    flat = np.ascontiguousarray(packed, dtype="<u8")
+    word = int.from_bytes(flat.tobytes(), "little")
+    return word & ((1 << num_vectors) - 1)
+
+
+def exhaustive_input_words(
+    inputs: Sequence[str], *, dtype_check: bool = True
+) -> dict[str, np.ndarray]:
+    """Packed truth-table word of every primary input, all ``2**n`` vectors.
+
+    Vector ``v`` assigns input ``i`` (in ``inputs`` order) bit ``i`` of
+    ``v`` — identical to the scalar exhaustive simulator's layout, so
+    ``unpack_word(result[net], 2**n)`` equals the big-int
+    ``TruthTableSimulator.good_word(net)`` for a primary input.
+    """
+    n = len(inputs)
+    num_vectors = 1 << n
+    words = num_words(num_vectors)
+    word_index = np.arange(words, dtype=np.uint64)
+    out: dict[str, np.ndarray] = {}
+    for i, net in enumerate(inputs):
+        if i < 6:
+            # the period fits inside one word: every word repeats the
+            # same 64-bit pattern (bit j set iff bit i of j is set)
+            pattern = sum(1 << j for j in range(WORD_BITS) if (j >> i) & 1)
+            arr = np.full(words, np.uint64(pattern), dtype=np.uint64)
+        else:
+            # whole words are constant: word w covers vectors 64w..64w+63,
+            # whose bit i is bit (i-6) of w
+            bit = (word_index >> np.uint64(i - 6)) & np.uint64(1)
+            arr = np.where(bit == 1, np.uint64(np.iinfo(np.uint64).max), np.uint64(0))
+        out[net] = arr & word_mask(num_vectors)
+    return out
+
+
+def random_input_words(
+    inputs: Sequence[str], num_vectors: int, seed: int = 0
+) -> dict[str, np.ndarray]:
+    """Uniform random packed pattern words for a Monte-Carlo batch."""
+    rng = np.random.default_rng(seed)
+    mask = word_mask(num_vectors)
+    words = num_words(num_vectors)
+    return {
+        net: rng.integers(
+            0, np.iinfo(np.uint64).max, size=words, dtype=np.uint64,
+            endpoint=True,
+        )
+        & mask
+        for net in inputs
+    }
+
+
+def iter_batches(
+    items: Sequence[_T], batch_size: int
+) -> Iterator[tuple[int, Sequence[_T]]]:
+    """Yield ``(start_index, slice)`` covering ``items`` exactly once.
+
+    The kernel's fault axis is batched through here; the batch-split
+    invariance property (any partition produces identical results)
+    is pinned by ``tests/test_bitparallel_packing.py``.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    for start in range(0, len(items), batch_size):
+        yield start, items[start : start + batch_size]
+
+
+def popcount_words(words: np.ndarray) -> np.ndarray:
+    """Per-element set-bit counts of a uint64 array (any shape)."""
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return np.bitwise_count(words)
+    # numpy 1.x fallback: byte-wise table lookup
+    table = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint64)
+    as_bytes = words.astype("<u8").reshape(-1).view(np.uint8)
+    counts = table[as_bytes].reshape(*words.shape, 8).sum(axis=-1)
+    return counts.astype(np.uint64)

@@ -20,6 +20,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.verify.conformance import ENGINES, SWEEPS, run_conformance
@@ -55,7 +56,9 @@ def main(argv: list[str] | None = None) -> int:
         nargs="+",
         choices=sorted(ENGINES),
         default=None,
-        help="restrict the conformance phase to these engines",
+        help="restrict the conformance phase to these engines "
+        "(default: all registered; $REPRO_ENGINE adds itself plus the "
+        "dp reference when set)",
     )
     parser.add_argument(
         "--transforms",
@@ -75,10 +78,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    engines = args.engines
+    if engines is None:
+        env_engine = os.environ.get("REPRO_ENGINE", "").strip()
+        if env_engine:
+            if env_engine not in ENGINES:
+                parser.error(
+                    f"$REPRO_ENGINE={env_engine!r} is not a registered "
+                    f"engine (known: {', '.join(sorted(ENGINES))})"
+                )
+            # the requested engine plus the dp reference, so the
+            # cross-engine comparison still has an independent witness
+            engines = sorted({env_engine, "dp"})
+
     failed = False
     if not args.skip_conformance:
         report = run_conformance(
-            args.scale, circuits=args.circuits, engines=args.engines
+            args.scale, circuits=args.circuits, engines=engines
         )
         print(report.render())
         failed |= not report.ok

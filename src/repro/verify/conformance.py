@@ -116,6 +116,33 @@ def _word_upper_bound(
     return None
 
 
+def _bitparallel_run(
+    circuit: Circuit,
+    faults: Sequence[Fault],
+    functions: CircuitFunctions,
+) -> list[FaultReport]:
+    """Adapter for the vectorized kernel: one batch sweep, then reports."""
+    from repro.simulation.bitparallel import BitParallelSimulator
+
+    sim = BitParallelSimulator(circuit)
+    reports = []
+    for fault, outcome in zip(faults, sim.simulate(list(faults))):
+        reports.append(
+            FaultReport(
+                engine="bitparallel",
+                fault=fault,
+                detectability=Fraction(
+                    outcome.detection_count, sim.num_vectors
+                ),
+                num_vars=circuit.num_inputs,
+                upper_bound=sim.upper_bound(fault),
+                test_count=outcome.detection_count,
+                observable_pos=outcome.observable_pos,
+            )
+        )
+    return reports
+
+
 def _deductive_supports(circuit: Circuit, faults: Sequence[Fault]) -> bool:
     return _exhaustive_ok(circuit, faults) and all(
         isinstance(f, StuckAtFault) for f in faults
@@ -164,6 +191,16 @@ register_engine(
 register_engine(
     EngineSpec("deductive", run=_deductive_run, supports=_deductive_supports)
 )
+try:  # the vectorized kernel needs numpy; skip registration without it
+    import repro.simulation.bitparallel  # noqa: F401
+
+    register_engine(
+        EngineSpec(
+            "bitparallel", run=_bitparallel_run, supports=_exhaustive_ok
+        )
+    )
+except ImportError:  # pragma: no cover - exercised only without numpy
+    pass
 
 
 # ----------------------------------------------------------------------
@@ -284,9 +321,11 @@ def run_conformance(
                 f"unknown sweep {sweep!r}; known: {', '.join(SWEEPS)}"
             ) from None
     names = tuple(circuits) if circuits is not None else sweep.circuits
+    # sorted-name order, not registration order: conformance reports
+    # and CI diffs stay deterministic as engines are added
     selected = {
-        name: spec
-        for name, spec in ENGINES.items()
+        name: ENGINES[name]
+        for name in sorted(ENGINES)
         if engines is None or name in engines
     }
     if engines is not None:

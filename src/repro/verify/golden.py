@@ -1,0 +1,237 @@
+"""Golden detectability fixtures.
+
+A golden fixture pins the *exact* per-fault detectability of a named
+fault set on a named circuit: test count, total vector count, and the
+per-PO observability set, serialized as JSON under ``tests/golden/``.
+``tests/test_golden_detectability.py`` then asserts that **every**
+registered conformance engine that supports the (circuit, fault-set)
+pair reproduces the fixture verbatim — not approximately, not within a
+tolerance, but the same rational number and the same PO set.
+
+The fixtures are the regression anchor underneath the conformance
+sweep: the sweep proves the engines agree with *each other*, the
+fixtures prove they agree with *the values committed to the repo*. A
+change that shifts any detectability — a packing bug, a collapsing
+change, a netlist edit — fails the suite with the exact fault named.
+
+Fault-set policy
+----------------
+Fixtures exist for every circuit in :data:`GOLDEN_CIRCUITS` under both
+fault models. Small circuits pin their complete collapsed-checkpoint /
+NFBF sets; the larger ones pin a deterministic stride sample (every
+``len/limit``-th fault of the canonical enumeration) so the slowest
+engine — deductive simulation over the 74181's 16384 vectors — stays
+inside the tier-1 budget. Sampling is positional, not random: the
+fixture contents depend only on the enumeration order, which the
+netlists pin.
+
+Regenerate (only after an *intentional* semantic change) with::
+
+    python -m repro.verify.golden
+
+The generator computes every record with the Difference Propagation
+reference engine and refuses to write a fixture the truth-table engine
+disagrees with, so a regeneration can never launder a single-engine
+bug into the committed truth.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.benchcircuits import get_circuit
+from repro.core.metrics import Fault
+from repro.core.symbolic import CircuitFunctions
+from repro.faults.bridging import BridgeKind, BridgingFault, enumerate_nfbfs
+from repro.faults.lines import Line
+from repro.faults.stuck_at import StuckAtFault, collapsed_checkpoint_faults
+
+SCHEMA = "repro.golden-detectability/1"
+
+#: Circuits with committed fixtures, in size order.
+GOLDEN_CIRCUITS = ("c17", "fulladder", "c95", "alu181")
+
+#: Fault models a fixture file exists for (the ``<model>`` filename part).
+GOLDEN_MODELS = ("stuck-at", "bridging")
+
+#: Stride-sample caps (absent = pin the complete set). The 74181 cap is
+#: sized for the deductive engine, which pays 2^14 vectors per sweep.
+STUCK_AT_LIMITS: Mapping[str, int] = {"alu181": 24}
+BRIDGING_LIMITS: Mapping[str, int] = {"c95": 30, "alu181": 20}  # per kind
+
+#: Default fixture directory: ``tests/golden/`` at the repo root.
+GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+# ----------------------------------------------------------------------
+# Fault (de)serialization
+# ----------------------------------------------------------------------
+def fault_to_dict(fault: Fault) -> dict:
+    """A structural, order-stable JSON form of one fault descriptor."""
+    if isinstance(fault, StuckAtFault):
+        record: dict = {"type": "stuck-at", "net": fault.line.net}
+        if fault.line.sink is not None:
+            record["sink"] = fault.line.sink
+            record["pin"] = fault.line.pin
+        record["value"] = int(fault.value)
+        return record
+    if isinstance(fault, BridgingFault):
+        return {
+            "type": "bridging",
+            "net_a": fault.net_a,
+            "net_b": fault.net_b,
+            "kind": fault.kind.value,
+        }
+    raise TypeError(f"unsupported fault type: {type(fault).__name__}")
+
+
+def fault_from_dict(record: Mapping) -> Fault:
+    """Inverse of :func:`fault_to_dict`."""
+    kind = record["type"]
+    if kind == "stuck-at":
+        line = Line(record["net"], record.get("sink"), record.get("pin"))
+        return StuckAtFault(line, bool(record["value"]))
+    if kind == "bridging":
+        return BridgingFault(
+            record["net_a"], record["net_b"], BridgeKind(record["kind"])
+        )
+    raise ValueError(f"unknown fault record type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Fault-set policy
+# ----------------------------------------------------------------------
+def stride_sample(items: Sequence, limit: int | None) -> list:
+    """Every ``len/limit``-th item — deterministic, order-derived."""
+    if limit is None or len(items) <= limit:
+        return list(items)
+    stride = len(items) / limit
+    return [items[int(index * stride)] for index in range(limit)]
+
+
+def golden_faults(circuit_name: str, model: str) -> list[Fault]:
+    """The canonical (possibly stride-sampled) fault set for a fixture."""
+    circuit = get_circuit(circuit_name)
+    if model == "stuck-at":
+        return stride_sample(
+            collapsed_checkpoint_faults(circuit),
+            STUCK_AT_LIMITS.get(circuit_name),
+        )
+    if model == "bridging":
+        faults: list[Fault] = []
+        for kind in (BridgeKind.AND, BridgeKind.OR):
+            faults.extend(
+                stride_sample(
+                    list(enumerate_nfbfs(circuit, kind)),
+                    BRIDGING_LIMITS.get(circuit_name),
+                )
+            )
+        return faults
+    raise ValueError(f"unknown fault model {model!r}")
+
+
+# ----------------------------------------------------------------------
+# Fixture generation / loading
+# ----------------------------------------------------------------------
+def golden_path(circuit_name: str, model: str, directory: Path | None = None) -> Path:
+    return (directory or GOLDEN_DIR) / f"{circuit_name}_{model}.json"
+
+
+def generate_fixture(circuit_name: str, model: str) -> dict:
+    """Compute one fixture document with the dp reference engine.
+
+    The truth-table engine independently recomputes every test count;
+    a disagreement raises instead of writing a poisoned fixture.
+    """
+    from repro.verify.conformance import ENGINES
+
+    circuit = get_circuit(circuit_name)
+    faults = golden_faults(circuit_name, model)
+    functions = CircuitFunctions(circuit)
+    num_vectors = 1 << circuit.num_inputs
+    reports = ENGINES["dp"].run(circuit, faults, functions)
+    witness = {
+        report.fault: report
+        for report in ENGINES["truthtable"].run(circuit, faults, functions)
+    }
+    records = []
+    for report in reports:
+        expected = Fraction(report.test_count, num_vectors)
+        if report.detectability != expected:
+            raise ValueError(
+                f"{circuit_name}/{model}: dp test_count inconsistent "
+                f"for {report.fault}"
+            )
+        cross = witness[report.fault]
+        if cross.detectability != report.detectability:
+            raise ValueError(
+                f"{circuit_name}/{model}: dp and truthtable disagree on "
+                f"{report.fault} ({report.detectability} vs "
+                f"{cross.detectability}) — refusing to write fixture"
+            )
+        records.append(
+            {
+                "fault": fault_to_dict(report.fault),
+                "label": str(report.fault),
+                "test_count": report.test_count,
+                "detectability": str(report.detectability),
+                "observable_pos": sorted(report.observable_pos),
+            }
+        )
+    return {
+        "schema": SCHEMA,
+        "circuit": circuit_name,
+        "model": model,
+        "num_vectors": num_vectors,
+        "generator": "dp",
+        "faults": records,
+    }
+
+
+def write_fixture(
+    circuit_name: str, model: str, directory: Path | None = None
+) -> Path:
+    path = golden_path(circuit_name, model, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = generate_fixture(circuit_name, model)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_fixture(path: Path) -> dict:
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if document.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: unknown schema {document.get('schema')!r}")
+    return document
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.golden",
+        description="Regenerate the golden detectability fixtures.",
+    )
+    parser.add_argument(
+        "--directory",
+        type=Path,
+        default=None,
+        help=f"output directory (default: {GOLDEN_DIR})",
+    )
+    args = parser.parse_args(argv)
+    for circuit_name in GOLDEN_CIRCUITS:
+        for model in GOLDEN_MODELS:
+            path = write_fixture(circuit_name, model, args.directory)
+            document = load_fixture(path)
+            print(f"{path}: {len(document['faults'])} faults")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

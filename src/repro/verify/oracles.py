@@ -245,7 +245,11 @@ def cross_engine_violations(
     Detectabilities must match fault-for-fault; test counts and
     observable-PO sets must match wherever both engines supply them.
     Engines are compared pairwise against the first engine listed (the
-    relation is transitive, so one anchor suffices).
+    relation is transitive, so one anchor suffices). Both engines must
+    also cover the *same fault set* — an engine that silently drops or
+    invents faults (the classic batch-slicing off-by-one) raises a
+    ``cross-engine-coverage`` violation instead of shrinking the
+    comparison.
     """
     violations: list[Violation] = []
     where = get_tracer().current_location() or ""
@@ -255,11 +259,40 @@ def cross_engine_violations(
     anchor = engines[0]
     by_fault = {r.fault: r for r in reports_by_engine[anchor]}
     for other in engines[1:]:
+        pair = f"{anchor} vs {other}"
+        covered = {r.fault for r in reports_by_engine[other]}
+        for fault in by_fault:
+            if fault not in covered:
+                violations.append(
+                    Violation(
+                        oracle="cross-engine-coverage",
+                        circuit=circuit.name,
+                        engine=pair,
+                        fault=str(fault),
+                        span=where,
+                        message=(
+                            f"{anchor} reported this fault but {other} "
+                            f"never did (dropped from a batch?)"
+                        ),
+                    )
+                )
         for report in reports_by_engine[other]:
             base = by_fault.get(report.fault)
             if base is None:
+                violations.append(
+                    Violation(
+                        oracle="cross-engine-coverage",
+                        circuit=circuit.name,
+                        engine=pair,
+                        fault=str(report.fault),
+                        span=where,
+                        message=(
+                            f"{other} reported a fault {anchor} was "
+                            f"never asked about"
+                        ),
+                    )
+                )
                 continue
-            pair = f"{anchor} vs {other}"
             if base.detectability != report.detectability:
                 violations.append(
                     Violation(

@@ -10,6 +10,13 @@ cross-engine comparison against the honest truth-table engine) and
 assert every seeded defect is caught by at least one oracle. A defect
 that survives means a blind spot in the verification surface, and
 ``python -m repro.verify`` exits nonzero.
+
+Two defect classes target the bit-parallel kernel itself rather than
+a report list: a wrong-word-width packing bug and an off-by-one
+fault-batch slicing bug, each seeded by running a deliberately broken
+:class:`~repro.simulation.bitparallel.BitParallelSimulator` subclass
+through the same oracle battery. They register only when numpy is
+importable, like the engine they sabotage.
 """
 
 from __future__ import annotations
@@ -38,11 +45,17 @@ Corruption = Callable[[list[FaultReport]], list[FaultReport]]
 
 @dataclass(frozen=True)
 class SeededDefect:
-    """One known engine defect class and how to seed it."""
+    """One known engine defect class and how to seed it.
+
+    Report-level defects supply ``corrupt``; kernel-level defects
+    supply ``engine_factory`` — a constructor for a deliberately
+    defective simulator whose reports then face the oracle battery.
+    """
 
     name: str
     description: str
-    corrupt: Corruption
+    corrupt: Corruption | None = None
+    engine_factory: Callable[[Circuit], object] | None = None
 
 
 def _replace_first(
@@ -140,6 +153,43 @@ def _detectability_overflow(reports: list[FaultReport]) -> list[FaultReport]:
     return _replace_first(reports, lambda r: True, change)
 
 
+def _wrong_width_packing_sim(circuit: Circuit):
+    """Kernel defect: the input packer sizes word arrays with
+    ``floor(V/64)`` instead of ``ceil``, so the tail vectors of every
+    primary input are silently zero."""
+    from repro.simulation import packing
+    from repro.simulation.bitparallel import BitParallelSimulator
+
+    class _WrongWidthPacking(BitParallelSimulator):
+        def _pack_input_words(self):
+            words = super()._pack_input_words()
+            keep = self.num_vectors // packing.WORD_BITS
+            out = {}
+            for net, arr in words.items():
+                arr = arr.copy()
+                arr[keep:] = 0
+                out[net] = arr
+            return out
+
+    return _WrongWidthPacking(circuit)
+
+
+def _off_by_one_batches_sim(circuit: Circuit):
+    """Kernel defect: every fault batch starts one fault late, so the
+    first fault of each slice is never simulated."""
+    from repro.simulation import packing
+    from repro.simulation.bitparallel import BitParallelSimulator
+
+    class _OffByOneBatches(BitParallelSimulator):
+        def _batches(self, faults):
+            for start, batch in packing.iter_batches(
+                faults, self.batch_size
+            ):
+                yield start, batch[1:]
+
+    return _OffByOneBatches(circuit, batch_size=8)
+
+
 DEFECTS: tuple[SeededDefect, ...] = (
     SeededDefect(
         "flip-detection-bit",
@@ -172,6 +222,24 @@ DEFECTS: tuple[SeededDefect, ...] = (
         _detectability_overflow,
     ),
 )
+
+try:  # kernel defects ride along with the numpy-gated engine
+    import repro.simulation.bitparallel  # noqa: F401
+
+    DEFECTS = DEFECTS + (
+        SeededDefect(
+            "wrong-word-width-packing",
+            "input packer sizes words with floor(V/64), zeroing the tail",
+            engine_factory=_wrong_width_packing_sim,
+        ),
+        SeededDefect(
+            "off-by-one-batch-slicing",
+            "each fault batch starts one fault late, dropping work",
+            engine_factory=_off_by_one_batches_sim,
+        ),
+    )
+except ImportError:  # pragma: no cover - exercised only without numpy
+    pass
 
 
 @dataclass(frozen=True)
@@ -233,13 +301,35 @@ def _violations_against(
     circuit: Circuit,
     corrupted: list[FaultReport],
     honest_other: dict[str, list[FaultReport]],
+    anchor: str = "dp",
 ) -> list[Violation]:
     """Full oracle battery on one corrupted report list."""
     found = check_reports(circuit, corrupted)
-    by_engine: dict[str, list[FaultReport]] = {"dp": corrupted}
+    by_engine: dict[str, list[FaultReport]] = {anchor: corrupted}
     by_engine.update(honest_other)
     found.extend(cross_engine_violations(circuit, by_engine))
     return found
+
+
+def _kernel_reports(
+    circuit: Circuit, faults: Sequence, sim
+) -> list[FaultReport]:
+    """Reports straight off a (possibly defective) bit-parallel kernel."""
+    outcomes = sim.simulate(list(faults))
+    return [
+        FaultReport(
+            engine="bitparallel",
+            fault=fault,
+            detectability=Fraction(
+                outcome.detection_count, sim.num_vectors
+            ),
+            num_vars=circuit.num_inputs,
+            upper_bound=sim.upper_bound(fault),
+            test_count=outcome.detection_count,
+            observable_pos=outcome.observable_pos,
+        )
+        for fault, outcome in zip(faults, outcomes)
+    ]
 
 
 def run_seeded_self_check(
@@ -250,20 +340,42 @@ def run_seeded_self_check(
     circuit = get_circuit(circuit_name)
     functions = CircuitFunctions(circuit)
     faults = collapsed_checkpoint_faults(circuit)
-    honest_dp = ENGINES["dp"].run(circuit, faults, functions)
-    honest_other: dict[str, list[FaultReport]] = {}
+    honest: dict[str, list[FaultReport]] = {}
     for name, spec in ENGINES.items():
-        if name != "dp" and spec.supports(circuit, faults):
-            honest_other[name] = spec.run(circuit, faults, functions)
-    baseline = _violations_against(circuit, honest_dp, honest_other)
+        if spec.supports(circuit, faults):
+            honest[name] = spec.run(circuit, faults, functions)
+    honest_dp = honest["dp"]
+    baseline = _violations_against(
+        circuit,
+        honest_dp,
+        {k: v for k, v in honest.items() if k != "dp"},
+    )
     outcomes: list[DefectOutcome] = []
     for defect in defects:
-        corrupted = defect.corrupt(list(honest_dp))
-        if corrupted == honest_dp:
-            raise ValueError(
-                f"defect {defect.name!r} did not change any report"
+        if defect.engine_factory is not None:
+            sim = defect.engine_factory(circuit)
+            corrupted = _kernel_reports(circuit, faults, sim)
+            if corrupted == honest.get("bitparallel"):
+                raise ValueError(
+                    f"defect {defect.name!r} did not change any report"
+                )
+            violations = _violations_against(
+                circuit,
+                corrupted,
+                {k: v for k, v in honest.items() if k != "bitparallel"},
+                anchor="bitparallel",
             )
-        violations = _violations_against(circuit, corrupted, honest_other)
+        else:
+            corrupted = defect.corrupt(list(honest_dp))
+            if corrupted == honest_dp:
+                raise ValueError(
+                    f"defect {defect.name!r} did not change any report"
+                )
+            violations = _violations_against(
+                circuit,
+                corrupted,
+                {k: v for k, v in honest.items() if k != "dp"},
+            )
         outcomes.append(
             DefectOutcome(
                 defect=defect,

@@ -1,0 +1,187 @@
+"""Property suite for the bit-parallel packing layer and fault batching.
+
+Three families of invariants, all hypothesis-driven where the input
+space allows it:
+
+* **pack/unpack round-trip** — ``pack_word``/``unpack_word`` are exact
+  inverses over the masked vector range, and the packed PI planes are
+  bit-identical to the scalar exhaustive simulator's big-int words;
+* **batch-split invariance** — the kernel's answer is independent of
+  how the fault axis is partitioned: any ``batch_size`` and any
+  split of the fault list into separate ``simulate`` calls produce
+  the same outcomes as one monolithic batch;
+* **word boundaries** — fault batches of exactly 1, 63, 64 and 65
+  lanes (straddling the 64-bit word width the planes are packed
+  into) reproduce the scalar truth-table detection words bit-exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.benchcircuits import get_circuit  # noqa: E402
+from repro.faults.stuck_at import collapsed_checkpoint_faults  # noqa: E402
+from repro.simulation import packing  # noqa: E402
+from repro.simulation.bitparallel import BitParallelSimulator  # noqa: E402
+from repro.simulation.truthtable import TruthTableSimulator  # noqa: E402
+
+
+# ----------------------------------------------------------------------
+# pack / unpack round-trip
+# ----------------------------------------------------------------------
+@given(
+    num_vectors=st.integers(min_value=1, max_value=520),
+    data=st.data(),
+)
+def test_pack_unpack_round_trip(num_vectors, data):
+    word = data.draw(
+        st.integers(min_value=0, max_value=(1 << num_vectors) - 1)
+    )
+    packed = packing.pack_word(word, num_vectors)
+    assert packed.shape == (packing.num_words(num_vectors),)
+    assert packed.dtype == np.uint64
+    assert packing.unpack_word(packed, num_vectors) == word
+
+
+@given(
+    num_vectors=st.integers(min_value=1, max_value=200),
+    data=st.data(),
+)
+def test_pack_discards_bits_past_num_vectors(num_vectors, data):
+    word = data.draw(
+        st.integers(min_value=0, max_value=(1 << num_vectors) - 1)
+    )
+    junk = data.draw(st.integers(min_value=1, max_value=1 << 70))
+    padded = packing.pack_word(word | (junk << num_vectors), num_vectors)
+    assert np.array_equal(padded, packing.pack_word(word, num_vectors))
+
+
+@given(num_vectors=st.integers(min_value=1, max_value=520))
+def test_word_mask_covers_exactly_the_vector_range(num_vectors):
+    mask = packing.word_mask(num_vectors)
+    assert packing.unpack_word(mask, num_vectors) == (1 << num_vectors) - 1
+    # no bit above num_vectors survives the mask
+    total = sum(int(w).bit_count() for w in mask)
+    assert total == num_vectors
+
+
+@given(num_inputs=st.integers(min_value=1, max_value=10))
+def test_exhaustive_input_words_match_scalar_layout(num_inputs):
+    """PI planes agree with the scalar simulator's vector numbering."""
+    inputs = [f"i{k}" for k in range(num_inputs)]
+    num_vectors = 1 << num_inputs
+    planes = packing.exhaustive_input_words(inputs)
+    for i, net in enumerate(inputs):
+        expected = sum(
+            1 << v for v in range(num_vectors) if (v >> i) & 1
+        )
+        assert packing.unpack_word(planes[net], num_vectors) == expected
+
+
+@given(
+    num_vectors=st.integers(min_value=1, max_value=300),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_random_input_words_deterministic_and_masked(num_vectors, seed):
+    inputs = ["a", "b", "c"]
+    first = packing.random_input_words(inputs, num_vectors, seed)
+    again = packing.random_input_words(inputs, num_vectors, seed)
+    mask = packing.word_mask(num_vectors)
+    for net in inputs:
+        assert np.array_equal(first[net], again[net])
+        assert np.array_equal(first[net] & mask, first[net])
+
+
+@given(words=st.lists(st.integers(min_value=0, max_value=2**64 - 1)))
+def test_popcount_words_counts_bits(words):
+    arr = np.array(words, dtype=np.uint64)
+    counts = packing.popcount_words(arr)
+    assert [int(c) for c in counts] == [w.bit_count() for w in words]
+
+
+# ----------------------------------------------------------------------
+# iter_batches
+# ----------------------------------------------------------------------
+@given(
+    n_items=st.integers(min_value=0, max_value=200),
+    batch_size=st.integers(min_value=1, max_value=70),
+)
+def test_iter_batches_covers_items_exactly_once(n_items, batch_size):
+    items = list(range(n_items))
+    rebuilt: list[int] = []
+    for start, batch in packing.iter_batches(items, batch_size):
+        assert start == len(rebuilt)
+        assert 1 <= len(batch) <= batch_size
+        rebuilt.extend(batch)
+    assert rebuilt == items
+
+
+def test_iter_batches_rejects_nonpositive_batch_size():
+    with pytest.raises(ValueError):
+        list(packing.iter_batches([1, 2, 3], 0))
+
+
+# ----------------------------------------------------------------------
+# batch-split invariance on the kernel
+# ----------------------------------------------------------------------
+_CIRCUIT = get_circuit("c17")
+_FAULTS = collapsed_checkpoint_faults(_CIRCUIT)
+_REFERENCE = BitParallelSimulator(_CIRCUIT).simulate(_FAULTS)
+
+
+def _outcome_key(outcome):
+    return (outcome.fault, outcome.detection_count, outcome.observable_pos)
+
+
+@given(batch_size=st.integers(min_value=1, max_value=24))
+def test_any_batch_size_matches_monolithic_run(batch_size):
+    sim = BitParallelSimulator(_CIRCUIT, batch_size=batch_size)
+    outcomes = sim.simulate(_FAULTS)
+    assert list(map(_outcome_key, outcomes)) == list(
+        map(_outcome_key, _REFERENCE)
+    )
+
+
+@given(
+    cuts=st.lists(
+        st.integers(min_value=0, max_value=len(_FAULTS)),
+        max_size=5,
+    )
+)
+def test_any_call_partition_matches_monolithic_run(cuts):
+    """Splitting the fault list across simulate() calls changes nothing."""
+    bounds = sorted({0, len(_FAULTS), *cuts})
+    sim = BitParallelSimulator(_CIRCUIT)
+    outcomes = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        outcomes.extend(sim.simulate(_FAULTS[lo:hi]))
+    assert list(map(_outcome_key, outcomes)) == list(
+        map(_outcome_key, _REFERENCE)
+    )
+
+
+# ----------------------------------------------------------------------
+# word-boundary fault counts
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("count", [1, 63, 64, 65])
+def test_word_boundary_fault_counts_match_scalar(count):
+    """Batches straddling the 64-lane word width stay bit-exact."""
+    circuit = get_circuit("c95")
+    faults = collapsed_checkpoint_faults(circuit)[:count]
+    assert len(faults) == count
+    sim = BitParallelSimulator(circuit)
+    tts = TruthTableSimulator(circuit)
+    # drive the whole list through one explicit N-lane batch so lanes
+    # 0, 62..64 exercise the word-width edges of the plane layout
+    outcomes, words = sim._simulate_batch(faults, want_words=True)
+    assert len(outcomes) == count
+    for fault, outcome, got in zip(faults, outcomes, words):
+        expected = tts.detection_word(fault)
+        assert outcome.fault == fault
+        assert got == expected, str(fault)
+        assert outcome.detection_count == bin(expected).count("1")
+        assert outcome.observable_pos == tts.observable_pos(fault)

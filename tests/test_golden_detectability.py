@@ -1,0 +1,126 @@
+"""Every registered engine must reproduce the golden fixtures verbatim.
+
+The fixtures under ``tests/golden/`` pin exact per-fault test counts,
+detectabilities, and observable-PO sets (see ``repro.verify.golden``).
+This suite runs **every** engine registered with the conformance seam —
+dp, truth-table, deductive, bit-parallel, and anything a later PR
+registers — over each fixture's fault list and demands bit-exact
+agreement with the committed values. There is no tolerance: a
+detectability that moves by one vector out of 16384 is a failure
+naming the fault.
+
+Engines opt out per fixture only through their own ``supports``
+predicate (deductive skips bridging fixtures, exhaustive engines would
+skip circuits beyond the input limit), and the suite asserts the
+reference engine is never among the skippers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.benchcircuits import get_circuit
+from repro.core.symbolic import CircuitFunctions
+from repro.verify import golden
+from repro.verify.conformance import ENGINES
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+FIXTURES = sorted(GOLDEN_DIR.glob("*.json"))
+
+_functions_cache: dict[str, CircuitFunctions] = {}
+
+
+def _functions(circuit_name: str) -> CircuitFunctions:
+    if circuit_name not in _functions_cache:
+        _functions_cache[circuit_name] = CircuitFunctions(
+            get_circuit(circuit_name)
+        )
+    return _functions_cache[circuit_name]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _release_functions():
+    yield
+    _functions_cache.clear()
+
+
+def test_fixture_set_is_complete():
+    """One committed fixture per (circuit, model) pair — no gaps."""
+    expected = {
+        f"{circuit}_{model}"
+        for circuit in golden.GOLDEN_CIRCUITS
+        for model in golden.GOLDEN_MODELS
+    }
+    assert {path.stem for path in FIXTURES} == expected
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+def test_fixture_matches_generator_policy(path):
+    """The committed fault list is exactly the policy's enumeration.
+
+    Guards against a stale fixture after a netlist or collapsing
+    change: the fault *list* must match before detectabilities are
+    even compared.
+    """
+    document = golden.load_fixture(path)
+    committed = [
+        golden.fault_from_dict(record["fault"])
+        for record in document["faults"]
+    ]
+    assert committed == golden.golden_faults(
+        document["circuit"], document["model"]
+    )
+    circuit = get_circuit(document["circuit"])
+    assert document["num_vectors"] == 1 << circuit.num_inputs
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+def test_every_engine_reproduces_fixture(path):
+    document = golden.load_fixture(path)
+    circuit = get_circuit(document["circuit"])
+    faults = [
+        golden.fault_from_dict(record["fault"])
+        for record in document["faults"]
+    ]
+    num_vectors = document["num_vectors"]
+    ran = []
+    for name in sorted(ENGINES):
+        spec = ENGINES[name]
+        if not spec.supports(circuit, faults):
+            continue
+        reports = spec.run(circuit, faults, _functions(document["circuit"]))
+        assert len(reports) == len(faults)
+        for record, report in zip(document["faults"], reports):
+            context = (name, document["circuit"], record["label"])
+            assert report.fault == golden.fault_from_dict(record["fault"])
+            expected = Fraction(record["test_count"], num_vectors)
+            assert report.detectability == expected, context
+            if report.test_count is not None:
+                assert report.test_count == record["test_count"], context
+            if report.observable_pos is not None:
+                assert (
+                    sorted(report.observable_pos)
+                    == record["observable_pos"]
+                ), context
+        ran.append(name)
+    # the reference engine supports everything; the exhaustive engines
+    # support every golden circuit by construction
+    assert "dp" in ran
+    assert "truthtable" in ran
+
+
+def test_bitparallel_covers_every_fixture():
+    """The vectorized kernel must not silently opt out of any fixture."""
+    pytest.importorskip("numpy")
+    spec = ENGINES["bitparallel"]
+    for path in FIXTURES:
+        document = golden.load_fixture(path)
+        circuit = get_circuit(document["circuit"])
+        faults = [
+            golden.fault_from_dict(record["fault"])
+            for record in document["faults"]
+        ]
+        assert spec.supports(circuit, faults), path.stem

@@ -20,6 +20,23 @@ def test_builtin_engine_registry():
         assert callable(spec.run) and callable(spec.supports)
 
 
+def test_bitparallel_engine_registered():
+    """The vectorized kernel is the fourth engine behind the seam."""
+    pytest.importorskip("numpy")
+    assert set(ENGINES) >= {"dp", "truthtable", "deductive", "bitparallel"}
+
+
+def test_sweep_iterates_engines_in_sorted_name_order():
+    """Cell order (and thus the cross-engine anchor) is name-sorted."""
+    report = run_conformance(sweep="ci", circuits=("c17",))
+    for model in ("stuck-at", "bridging"):
+        engines = [
+            cell.engine for cell in report.cells if cell.model == model
+        ]
+        assert engines, model
+        assert engines == sorted(engines)
+
+
 def test_register_engine_rejects_duplicates():
     with pytest.raises(ValueError):
         register_engine(ENGINES["dp"])
@@ -76,10 +93,29 @@ def test_seeded_self_check_catches_every_defect():
     assert len({frozenset(o.oracles_fired) for o in report.outcomes}) >= 3
 
 
+def test_kernel_defects_seeded_and_caught():
+    """The two bit-parallel kernel defect classes are in the roster and
+    each one is caught — the batch-slicing bug specifically by the
+    cross-engine coverage oracle (a dropped fault has no report to
+    compare, only an absence to notice)."""
+    pytest.importorskip("numpy")
+    names = {defect.name for defect in DEFECTS}
+    assert {"wrong-word-width-packing", "off-by-one-batch-slicing"} <= names
+    report = run_seeded_self_check()
+    fired = {
+        outcome.defect.name: set(outcome.oracles_fired)
+        for outcome in report.outcomes
+    }
+    assert fired["wrong-word-width-packing"]
+    assert "cross-engine-coverage" in fired["off-by-one-batch-slicing"]
+
+
 @pytest.mark.parametrize("defect", DEFECTS, ids=lambda d: d.name)
 def test_each_defect_documents_itself(defect):
     assert defect.description
-    assert callable(defect.corrupt)
+    # report-corruption defects carry `corrupt`; kernel defects carry a
+    # defective engine factory instead
+    assert callable(defect.corrupt) or callable(defect.engine_factory)
 
 
 def test_cli_ok_exit(capsys):
