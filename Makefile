@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-all test-parallel test-gc verify verify-full coverage bench bench-parallel bench-gc bench-obs experiments experiments-paper trace-demo examples clean
+.PHONY: install test test-all test-parallel test-gc verify verify-full coverage bench bench-parallel bench-gc bench-obs experiments experiments-paper trace-demo flamegraph perf-record perf-check perf-report examples clean
 
 # line-coverage floor enforced on the core engine, the verify layer and
 # the simulation engines (including the bit-parallel kernel)
@@ -57,6 +57,26 @@ experiments-paper:
 # trace and a run manifest under results/
 trace-demo:
 	$(PYTHON) -m repro.obs demo
+
+# traced c432 stuck-at campaign → hotspot table + folded-stack
+# flamegraph (flamegraph.pl / speedscope input) under results/
+flamegraph:
+	$(PYTHON) -m repro.obs demo --circuit c432 > /dev/null
+	$(PYTHON) -m repro.obs profile results/trace_c432.jsonl \
+		--flame results/flame_c432.folded
+
+# bench-trajectory sentinel over results/BENCH_*.json: record appends
+# the fresh artifacts to results/history/, check exits nonzero on a
+# regression against the recorded baseline, report renders the
+# markdown dashboard
+perf-record:
+	$(PYTHON) -m repro.obs perf record
+
+perf-check:
+	$(PYTHON) -m repro.obs perf check
+
+perf-report:
+	$(PYTHON) -m repro.obs perf report
 
 examples:
 	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done

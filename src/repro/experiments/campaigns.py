@@ -424,12 +424,16 @@ def analyze_faults(
     engine: DifferencePropagation,
     faults: Sequence[Fault],
     bridging: bool,
+    meter=obs.NULL_METER,
 ) -> tuple[FaultResult, ...]:
     """Reduce each fault's analysis to a scalar :class:`FaultResult`.
 
     The single per-fault loop behind both the serial and the parallel
     path — equivalence of the two executors is by construction here and
-    proven again by ``tests/test_parallel_campaigns.py``.
+    proven again by ``tests/test_parallel_campaigns.py``. ``meter``
+    ticks once per fault; the default is the shared no-op meter, so
+    the disabled-progress cost is one attribute call per fault (held
+    under the <3% obs gate by ``benchmarks/test_bench_obs.py``).
     """
     records: list[FaultResult] = []
     for fault in faults:
@@ -447,6 +451,7 @@ def analyze_faults(
                 stuck_at_equivalent=stuck_eq,
             )
         )
+        meter.update(1)
     return tuple(records)
 
 
@@ -600,6 +605,10 @@ def _bitparallel_chunk_body(
         stat = ChunkStat.from_metrics(
             registry, index=index, worker_pid=os.getpid()
         )
+        # One batch sweep = one heartbeat: the kernel has no per-fault
+        # loop to tick, so the chunk reports as a single completion.
+        meter = obs.meter(len(faults), label=f"{name} bitparallel")
+        meter.chunk_done(index=index, faults=len(faults), seconds=stat.seconds)
     return records, exact, stat
 
 
@@ -638,7 +647,13 @@ def run_chunk_body(
         )
         before_manager = functions.manager
         before_stats = before_manager.stats()
-        records = analyze_faults(engine, faults, bridging)
+        meter = obs.meter(
+            len(faults),
+            label=f"{name} {'bridging' if bridging else 'stuck-at'} "
+            f"chunk {index}",
+        )
+        records = analyze_faults(engine, faults, bridging, meter=meter)
+        meter.finish()
         registry = chunk_metrics(engine, before_manager, before_stats)
         functions = store_engine_functions(name, scale, engine)
         registry.counter("campaign.faults").inc(len(faults))

@@ -92,6 +92,12 @@ def main(argv: list[str] | None = None) -> int:
         "written as JSONL next to the other artifacts",
     )
     parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live campaign heartbeats on stderr (same as "
+        "REPRO_PROGRESS=1): faults done/total, throughput, ETA",
+    )
+    parser.add_argument(
         "--trace-out",
         type=Path,
         default=None,
@@ -127,6 +133,10 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_TRACE"] = "1"
         obs.enable_tracing()
     tracing = obs.tracing_enabled()
+    if args.progress and not obs.progress_enabled():
+        # Same propagation rule: workers heartbeat their own chunks.
+        os.environ["REPRO_PROGRESS"] = "1"
+        obs.enable_progress()
 
     # Machine-readable artifacts (manifest JSONs, the trace) go to the
     # explicit --out directory, falling back to results/ for traced

@@ -33,7 +33,7 @@ down, guaranteeing the next campaign sees freshly built managers.
 
 from __future__ import annotations
 
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -220,8 +220,24 @@ def run_campaign(
     futures: list[Future[ChunkResult]] = [
         pool.submit(run_chunk, spec) for spec in specs
     ]
+    # Chunk-completion heartbeats arrive in *completion* order (that is
+    # their point: live progress); the result merge below still sorts
+    # by shard index, so heartbeats never affect determinism.
+    meter = obs.meter(
+        len(faults),
+        label=f"{name} {'bridging' if bridging else 'stuck-at'} "
+        f"x{n_workers} workers",
+    )
+    chunk_results: list[ChunkResult] = []
     try:
-        chunk_results = [f.result() for f in futures]
+        for future in as_completed(futures):
+            chunk = future.result()
+            chunk_results.append(chunk)
+            meter.chunk_done(
+                index=chunk.index,
+                faults=len(chunk.results),
+                seconds=chunk.stat.seconds,
+            )
     except BaseException:
         # A failed chunk must not leave the cached pool alive with the
         # remaining chunks still queued: retire it (cancelling queued

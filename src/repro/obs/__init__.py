@@ -16,10 +16,18 @@ instrument itself without cycles:
 * :mod:`repro.obs.logging` — the ``repro.*`` logger hierarchy behind
   ``$REPRO_LOG``.
 * :mod:`repro.obs.bench` — ``BENCH_<name>.json`` artifact helpers.
+* :mod:`repro.obs.profile` — span-trace profiler: per-name self /
+  cumulative time, hotspot table, folded-stack flamegraph export.
+* :mod:`repro.obs.perf` — bench-trajectory regression sentinel over
+  the append-only ``results/history/<bench>.jsonl`` store.
+* :mod:`repro.obs.progress` — live campaign heartbeats behind
+  ``$REPRO_PROGRESS``.
 
 ``python -m repro.obs demo`` runs a traced C17 campaign and
 pretty-prints the span tree; ``python -m repro.obs tree FILE`` renders
-an existing JSONL trace.
+an existing JSONL trace; ``python -m repro.obs profile FILE`` prints
+its hotspots (``--flame`` exports a flamegraph); ``python -m repro.obs
+perf record|check|report`` drives the trajectory store.
 """
 
 from repro.obs.bench import (
@@ -29,8 +37,16 @@ from repro.obs.bench import (
 )
 from repro.obs.encode import json_safe
 from repro.obs.logging import configure_logging, get_logger
-from repro.obs.manifest import RunManifest, git_sha
+from repro.obs.manifest import RunManifest, git_sha, numpy_version
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.progress import (
+    NULL_METER,
+    ProgressMeter,
+    disable_progress,
+    enable_progress,
+    meter,
+    progress_enabled,
+)
 from repro.obs.trace import (
     NOOP_SPAN,
     NullTracer,
@@ -50,11 +66,13 @@ from repro.obs.trace import (
 
 __all__ = [
     "NOOP_SPAN",
+    "NULL_METER",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullTracer",
+    "ProgressMeter",
     "RunManifest",
     "Span",
     "Tracer",
@@ -62,13 +80,18 @@ __all__ = [
     "capture",
     "configure_logging",
     "current_location",
+    "disable_progress",
     "disable_tracing",
+    "enable_progress",
     "enable_tracing",
     "env_enabled",
     "get_logger",
     "get_tracer",
     "git_sha",
     "json_safe",
+    "meter",
+    "numpy_version",
+    "progress_enabled",
     "read_bench_artifact",
     "render_tree",
     "set_tracer",

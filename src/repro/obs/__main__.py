@@ -1,14 +1,21 @@
-"""Trace tooling CLI.
+"""Observability tooling CLI.
 
 ::
 
     python -m repro.obs demo                 # traced C17 campaign → span tree
     python -m repro.obs demo --circuit c95   # any registered circuit
     python -m repro.obs tree results/trace.jsonl
+    python -m repro.obs profile results/trace.jsonl --top 15
+    python -m repro.obs profile results/trace.jsonl --flame out.folded
+    python -m repro.obs perf record          # append BENCH_* → history/
+    python -m repro.obs perf check           # nonzero exit on regression
+    python -m repro.obs perf report          # markdown trajectory dashboard
 
 ``demo`` backs ``make trace-demo``: it enables tracing, runs one
 stuck-at campaign, writes the JSONL trace and a run manifest under
-``results/``, and pretty-prints the span tree.
+``results/``, and pretty-prints the span tree. ``profile`` backs
+``make flamegraph``; the ``perf`` family backs ``make perf-check`` and
+the CI regression gate.
 """
 
 from __future__ import annotations
@@ -19,6 +26,8 @@ import sys
 import time
 from pathlib import Path
 
+from repro.obs import perf as perf_mod
+from repro.obs import profile as profile_mod
 from repro.obs import trace as trace_mod
 from repro.obs.logging import configure_logging, get_logger
 from repro.obs.manifest import RunManifest
@@ -84,6 +93,62 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    events = profile_mod.load_trace(args.trace)
+    if not events:
+        print(f"{args.trace}: no spans", file=sys.stderr)
+        return 1
+    for line in profile_mod.profile_report(events, top=args.top, sort=args.sort):
+        print(line)
+    if args.flame is not None:
+        path = profile_mod.write_folded(events, args.flame)
+        # Strict re-parse: a flamegraph we can't read back is a bug.
+        profile_mod.parse_folded(path.read_text(encoding="utf-8"))
+        stacks = len(profile_mod.fold_stacks(events))
+        print(f"\n{stacks} folded stacks written to {path}")
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    results_dir = Path(args.results)
+    history_dir = (
+        Path(args.history)
+        if args.history is not None
+        else perf_mod.default_history_dir(results_dir)
+    )
+    if args.perf_command == "record":
+        paths = perf_mod.record(results_dir, history_dir)
+        for path in sorted(set(paths)):
+            print(f"recorded → {path}")
+        if not paths:
+            print(f"no BENCH_*.json artifacts under {results_dir}", file=sys.stderr)
+            return 1
+        return 0
+    if args.perf_command == "report":
+        print(perf_mod.report(history_dir))
+        return 0
+    # check
+    findings, notes = perf_mod.check(results_dir, history_dir)
+    for note in notes:
+        print(f"note: {note}", file=sys.stderr)
+    for finding in findings:
+        print(finding.render())
+    regressions = [f for f in findings if f.regressed]
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) against the recorded "
+            f"trajectory in {history_dir}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"perf check ok: {len(findings)} gated metrics within tolerance"
+        if findings
+        else "perf check ok: nothing to gate yet"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     configure_logging()
     parser = argparse.ArgumentParser(
@@ -101,6 +166,41 @@ def main(argv: list[str] | None = None) -> int:
     tree = sub.add_parser("tree", help="pretty-print a JSONL trace file")
     tree.add_argument("trace")
     tree.set_defaults(func=_cmd_tree)
+
+    profile = sub.add_parser(
+        "profile",
+        help="aggregate a JSONL trace: hotspots + optional flamegraph",
+    )
+    profile.add_argument("trace")
+    profile.add_argument("--top", type=int, default=10)
+    profile.add_argument("--sort", choices=("self", "cum"), default="self")
+    profile.add_argument(
+        "--flame",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also export a folded-stack flamegraph "
+        "(flamegraph.pl / speedscope input)",
+    )
+    profile.set_defaults(func=_cmd_profile)
+
+    perf = sub.add_parser(
+        "perf", help="bench trajectory: record, check, report"
+    )
+    perf.add_argument(
+        "perf_command",
+        choices=("record", "check", "report"),
+        help="record: append fresh BENCH_*.json to history/; "
+        "check: gate fresh artifacts against the baseline (nonzero exit "
+        "on regression); report: markdown trajectory dashboard",
+    )
+    perf.add_argument("--results", default="results")
+    perf.add_argument(
+        "--history",
+        default=None,
+        help="trajectory store (default: <results>/history)",
+    )
+    perf.set_defaults(func=_cmd_perf)
 
     args = parser.parse_args(argv)
     return args.func(args)

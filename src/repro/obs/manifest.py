@@ -32,10 +32,25 @@ _RECORDED_ENV = (
     "REPRO_SEED",
     "REPRO_SCALE",
     "REPRO_WORKERS",
+    "REPRO_ENGINE",
     "REPRO_TRACE",
     "REPRO_LOG",
+    "REPRO_PROGRESS",
     "HYPOTHESIS_PROFILE",
 )
+
+
+def numpy_version() -> str | None:
+    """Installed numpy's version, or ``None`` when numpy is absent.
+
+    Recorded so trajectory entries produced by the vectorized kernel
+    are only compared across runs with a comparable numeric backend.
+    """
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy.__version__
 
 
 def git_sha() -> str | None:
@@ -73,6 +88,12 @@ class RunManifest:
     wall_seconds: float | None
     env: Mapping[str, str] = field(default_factory=dict)
     extra: Mapping[str, Any] = field(default_factory=dict)
+    #: installed numpy version (``None`` without numpy) — kernel-backend
+    #: provenance for perf-trajectory comparability
+    numpy: str | None = None
+    #: effective campaign engine after ``Scale.engine``/``$REPRO_ENGINE``
+    #: resolution (``None`` when no scale/engine context applies)
+    engine: str | None = None
 
     @classmethod
     def collect(
@@ -83,14 +104,23 @@ class RunManifest:
         command: tuple[str, ...] | None = None,
         wall_seconds: float | None = None,
         extra: Mapping[str, Any] | None = None,
+        engine: str | None = None,
     ) -> "RunManifest":
         """Snapshot the current process (pass the run's ``Scale`` if any).
 
-        ``scale`` duck-types on ``name``/``seed``/``circuits`` so the
-        obs layer stays importable from everywhere below
-        ``experiments``.
+        ``scale`` duck-types on ``name``/``seed``/``circuits`` (and
+        ``effective_engine()`` when present) so the obs layer stays
+        importable from everywhere below ``experiments``. ``engine``
+        overrides the scale's resolution; without either, a bare
+        ``$REPRO_ENGINE`` is recorded verbatim.
         """
         scale_name = getattr(scale, "name", None)
+        if engine is None:
+            resolve = getattr(scale, "effective_engine", None)
+            if callable(resolve):
+                engine = resolve()
+            else:
+                engine = os.environ.get("REPRO_ENGINE", "").strip() or None
         seed = getattr(scale, "seed", None)
         if seed is None:
             try:
@@ -121,6 +151,8 @@ class RunManifest:
                 if name in os.environ
             },
             extra=dict(extra or {}),
+            numpy=numpy_version(),
+            engine=engine,
         )
 
     def to_dict(self) -> dict[str, Any]:

@@ -16,8 +16,21 @@ payloads shipped home from pool workers):
 * **gauge** — level snapshot; merges by ``max`` (every gauge in this
   codebase is a peak/footprint: peak nodes, live nodes) or ``last``.
 * **histogram** — summary of an observed distribution (count / sum /
-  min / max); merges by combining the summaries. Per-chunk wall
-  seconds, per-fault costs.
+  min / max plus p50/p95/p99 from a bounded sample store); merges by
+  combining the summaries. Per-chunk wall seconds, per-fault costs.
+
+Histogram percentiles are *deterministic under merge*: the sample
+store keeps at most :data:`SAMPLE_CAP` **weighted** order statistics —
+compression thins the sorted pool to evenly-spaced cumulative-weight
+midpoints, and each survivor carries the weight of the samples it
+stands for. Weights are what keep quantiles honest: an order statistic
+representing 100 samples must count 100× in the rank walk, otherwise a
+long-running histogram drifts toward whatever arrived after the last
+compression. The whole scheme is a deterministic function of the
+weighted sample multiset, so folding the same snapshots in the same
+order always reproduces the same quantiles (the registry's contract
+everywhere else). The profiler's hotspot table reads p50/p95/p99 from
+these pools.
 
 Snapshots are plain JSON-able dicts, so a registry round-trips through
 pickle (worker → driver) and through ``BENCH_*.json`` artifacts.
@@ -65,26 +78,100 @@ class Gauge:
             self.value = value
 
 
-class Histogram:
-    """Streaming summary (count/sum/min/max) of observed values."""
+#: Weighted order statistics a histogram keeps for percentile queries.
+#: Beyond twice this the sorted pool is compressed to evenly-spaced
+#: cumulative-weight midpoints — deterministic, so merged snapshots
+#: always agree on quantiles.
+SAMPLE_CAP = 512
 
-    __slots__ = ("count", "total", "min", "max")
+
+class Histogram:
+    """Streaming summary (count/sum/min/max + percentiles) of values."""
+
+    __slots__ = ("count", "total", "min", "max", "samples")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        #: bounded, sorted-on-demand pool of ``[value, weight]`` pairs;
+        #: a compressed survivor's weight is the number of original
+        #: samples it stands for
+        self.samples: list[list[float]] = []
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        self.samples.append([value, 1.0])
+        if len(self.samples) > 2 * SAMPLE_CAP:
+            self._compress()
+
+    def _compress(self) -> None:
+        """Thin the pool to :data:`SAMPLE_CAP` weighted order statistics.
+
+        Survivors sit at evenly-spaced *cumulative-weight* midpoints of
+        the sorted pool and each carries an equal share of the total
+        weight, so the weighted CDF is preserved to within one share.
+        The result depends only on the weighted multiset of samples at
+        compression time — no randomness, no order effects.
+        """
+        pool = sorted(self.samples)
+        if len(pool) <= SAMPLE_CAP:
+            self.samples = pool
+            return
+        total = sum(weight for _, weight in pool)
+        share = total / SAMPLE_CAP
+        thinned: list[list[float]] = []
+        cursor = iter(pool)
+        value, weight = next(cursor)
+        cum = weight
+        for i in range(SAMPLE_CAP):
+            target = (i + 0.5) * share
+            while cum < target:
+                value, weight = next(cursor)
+                cum += weight
+            thinned.append([value, share])
+        self.samples = thinned
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float | None:
+        """Weighted nearest-rank ``q``-th percentile (``None`` if empty).
+
+        Identical to classic nearest-rank while the pool is raw (unit
+        weights, i.e. fewer than ``2 * SAMPLE_CAP`` observations).
+        """
+        if not self.samples:
+            return None
+        if not 0 <= q <= 100:
+            raise ValueError("percentile q must be within [0, 100]")
+        pool = sorted(self.samples)
+        self.samples = pool  # keep the sort for the next query
+        total = sum(weight for _, weight in pool)
+        target = q / 100.0 * total
+        cum = 0.0
+        for value, weight in pool:
+            cum += weight
+            if cum >= target:
+                return value
+        return pool[-1][0]  # float rounding left cum just under total
+
+    @property
+    def p50(self) -> float | None:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float | None:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float | None:
+        return self.percentile(99)
 
     def combine(self, other: Mapping[str, Any]) -> None:
         if not other.get("count"):
@@ -97,6 +184,13 @@ class Histogram:
             setattr(
                 self, field, theirs if ours is None else pick(ours, theirs)
             )
+        # Pre-percentile snapshots carry no sample pool; their values
+        # simply don't contribute quantiles (count/sum/min/max still do).
+        self.samples.extend(
+            [value, weight] for value, weight in other.get("samples", ())
+        )
+        if len(self.samples) > 2 * SAMPLE_CAP:
+            self._compress()
 
     def summary(self) -> dict[str, Any]:
         return {
@@ -104,6 +198,10 @@ class Histogram:
             "sum": self.total,
             "min": self.min,
             "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "samples": sorted([value, weight] for value, weight in self.samples),
         }
 
 

@@ -1,0 +1,210 @@
+"""Span-trace profiler: hotspots, self/cumulative time, flamegraphs.
+
+Consumes the JSONL span traces the tracer exports (including traces
+whose worker chunks were merged by :meth:`Tracer.absorb` — absorbed
+events arrive with remapped ids and re-parented roots, so the parent
+links here are always internally consistent). Three products:
+
+* :func:`aggregate` — per-span-name totals: call count, *cumulative*
+  time (sum of span durations) and *self* time (duration minus the
+  time spent in direct children), plus a duration
+  :class:`~repro.obs.metrics.Histogram` whose p50/p95/p99 feed the
+  hotspot table.
+* :func:`hotspot_table` — the top-N table ``python -m repro.obs
+  profile`` prints, sorted by self or cumulative time.
+* :func:`fold_stacks` / :func:`render_folded` — folded-stack export:
+  one ``root;child;leaf <microseconds>`` line per unique span path,
+  the input format of Brendan Gregg's ``flamegraph.pl`` and of the
+  speedscope importer. :func:`parse_folded` round-trips the format
+  (and is the validation CI runs on exported flamegraphs).
+
+Self time is attributed per event, so a name that appears at several
+tree depths aggregates correctly; cumulative time sums every span of
+the name, which (as in every profiler) double-counts direct recursion
+— no span in the repro taxonomy nests under itself.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs.metrics import Histogram
+
+
+def load_trace(path: Path | str) -> list[dict]:
+    """Read a JSONL trace (blank lines ignored; returns event dicts)."""
+    events: list[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+@dataclass
+class SpanStats:
+    """Aggregated timing for one span name."""
+
+    name: str
+    calls: int = 0
+    cum: float = 0.0  # summed span durations (children included)
+    self_time: float = 0.0  # durations minus direct children
+    errors: int = 0
+    durations: Histogram = field(default_factory=Histogram)
+
+    @property
+    def mean(self) -> float:
+        return self.cum / self.calls if self.calls else 0.0
+
+
+def aggregate(events: Iterable[Mapping[str, Any]]) -> dict[str, SpanStats]:
+    """Fold an event list into per-name :class:`SpanStats`.
+
+    Self time never goes negative: rounding drift between a parent's
+    duration and its children's sum is clamped at zero.
+    """
+    events = list(events)
+    child_time: dict[Any, float] = {}
+    ids = {event["id"] for event in events}
+    for event in events:
+        parent = event["parent"]
+        if parent in ids:
+            child_time[parent] = child_time.get(parent, 0.0) + event["dur"]
+    stats: dict[str, SpanStats] = {}
+    for event in events:
+        entry = stats.get(event["name"])
+        if entry is None:
+            entry = stats[event["name"]] = SpanStats(event["name"])
+        entry.calls += 1
+        entry.cum += event["dur"]
+        entry.self_time += max(event["dur"] - child_time.get(event["id"], 0.0), 0.0)
+        entry.durations.observe(event["dur"])
+        if event["status"] != "ok":
+            entry.errors += 1
+    return stats
+
+
+def _ms(value: float | None) -> str:
+    return "-" if value is None else f"{1000 * value:.2f}"
+
+
+def hotspot_table(
+    stats: Mapping[str, SpanStats], top: int = 10, sort: str = "self"
+) -> list[str]:
+    """The top-``top`` hotspot rows, ranked by ``sort`` (self|cum)."""
+    if sort not in ("self", "cum"):
+        raise ValueError("sort must be 'self' or 'cum'")
+    attr = "self_time" if sort == "self" else "cum"
+    ranked = sorted(
+        stats.values(),
+        key=lambda s: (-getattr(s, attr), s.name),
+    )[:top]
+    total_self = sum(s.self_time for s in stats.values()) or 1.0
+    lines = [
+        f"{'span':<24} {'calls':>7} {'self s':>9} {'self%':>6} "
+        f"{'cum s':>9} {'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8} {'err':>4}"
+    ]
+    for entry in ranked:
+        hist = entry.durations
+        lines.append(
+            f"{entry.name:<24} {entry.calls:>7} {entry.self_time:>9.3f} "
+            f"{100 * entry.self_time / total_self:>5.1f}% {entry.cum:>9.3f} "
+            f"{_ms(hist.p50):>8} {_ms(hist.p95):>8} {_ms(hist.p99):>8} "
+            f"{entry.errors:>4}"
+        )
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Folded-stack (flamegraph.pl / speedscope) export
+# ----------------------------------------------------------------------
+def fold_stacks(events: Iterable[Mapping[str, Any]]) -> dict[str, int]:
+    """Self time in integer microseconds per unique root→span path.
+
+    Events whose parent is missing from the batch root their own stack
+    (partial traces still fold). Paths whose self time rounds to zero
+    microseconds are dropped — they would render as empty frames.
+    """
+    events = list(events)
+    by_id = {event["id"]: event for event in events}
+    child_time: dict[Any, float] = {}
+    for event in events:
+        parent = event["parent"]
+        if parent in by_id:
+            child_time[parent] = child_time.get(parent, 0.0) + event["dur"]
+
+    paths: dict[Any, str] = {}
+
+    def path_of(event: Mapping[str, Any]) -> str:
+        cached = paths.get(event["id"])
+        if cached is not None:
+            return cached
+        parent = by_id.get(event["parent"])
+        stack = (
+            event["name"]
+            if parent is None
+            else f"{path_of(parent)};{event['name']}"
+        )
+        paths[event["id"]] = stack
+        return stack
+
+    folded: dict[str, int] = {}
+    for event in events:
+        self_us = round(
+            1e6 * max(event["dur"] - child_time.get(event["id"], 0.0), 0.0)
+        )
+        if self_us > 0:
+            stack = path_of(event)
+            folded[stack] = folded.get(stack, 0) + self_us
+    return folded
+
+
+def render_folded(folded: Mapping[str, int]) -> str:
+    """One ``stack value`` line per path, path-sorted for determinism."""
+    return "\n".join(f"{stack} {value}" for stack, value in sorted(folded.items()))
+
+
+def parse_folded(text: str) -> dict[str, int]:
+    """Parse folded-stack text back to ``{path: value}`` (strict).
+
+    Raises :class:`ValueError` on any malformed line — this is the
+    round-trip validation for exported flamegraphs.
+    """
+    folded: dict[str, int] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        stack, _, raw = line.rpartition(" ")
+        if not stack or not raw.isdigit():
+            raise ValueError(f"line {lineno}: not 'stack count': {line!r}")
+        folded[stack] = folded.get(stack, 0) + int(raw)
+    return folded
+
+
+def write_folded(
+    events: Sequence[Mapping[str, Any]], path: Path | str
+) -> Path:
+    """Export ``events`` as a folded-stack file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_folded(fold_stacks(events)) + "\n", encoding="utf-8")
+    return path
+
+
+def profile_report(
+    events: Sequence[Mapping[str, Any]], top: int = 10, sort: str = "self"
+) -> list[str]:
+    """Header + hotspot table for one trace (the CLI's rendering)."""
+    stats = aggregate(events)
+    total = sum(s.self_time for s in stats.values())
+    lines = [
+        f"{len(events)} spans, {len(stats)} span names, "
+        f"{total:.3f} s total self time (sorted by {sort})",
+        "",
+    ]
+    lines.extend(hotspot_table(stats, top=top, sort=sort))
+    return lines

@@ -127,3 +127,47 @@ def test_loggers_live_under_the_repro_hierarchy(capsys):
     configure_logging(level="warning")
     log.info("suppressed")
     assert "suppressed" not in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Engine & numpy provenance (the perf-trajectory comparability key)
+# ----------------------------------------------------------------------
+def test_manifest_records_numpy_version():
+    m = obs.RunManifest.collect()
+    recorded = manifest.numpy_version()
+    assert m.numpy == recorded
+    if recorded is not None:
+        import numpy
+
+        assert recorded == numpy.__version__
+    assert "numpy" in m.to_dict()
+
+
+def test_manifest_engine_explicit_argument_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "dp")
+    m = obs.RunManifest.collect(engine="bitparallel")
+    assert m.engine == "bitparallel"
+
+
+def test_manifest_engine_resolves_through_the_scale(monkeypatch):
+    from repro.experiments.config import get_scale
+
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    scale = get_scale("ci")
+    m = obs.RunManifest.collect(scale=scale)
+    assert m.engine == scale.effective_engine()
+    monkeypatch.setenv("REPRO_ENGINE", "bitparallel")
+    assert obs.RunManifest.collect(scale=scale).engine == "bitparallel"
+
+
+def test_manifest_engine_falls_back_to_env(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "bitparallel")
+    assert obs.RunManifest.collect().engine == "bitparallel"
+    assert obs.RunManifest.collect().env["REPRO_ENGINE"] == "bitparallel"
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    assert obs.RunManifest.collect().engine is None
+
+
+def test_manifest_progress_env_is_recorded(monkeypatch):
+    monkeypatch.setenv("REPRO_PROGRESS", "1")
+    assert obs.RunManifest.collect().env["REPRO_PROGRESS"] == "1"

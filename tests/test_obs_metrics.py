@@ -224,3 +224,118 @@ def test_telemetry_report_renders_from_metrics():
     assert any(line.lstrip().startswith("circuit") for line in lines)
     row = next(line for line in lines if "c17" in line)
     assert "stuck-at" in row and "%" in row
+
+
+# ----------------------------------------------------------------------
+# Histogram percentiles (feed the profiler's hotspot table)
+# ----------------------------------------------------------------------
+def test_percentiles_nearest_rank_on_small_pools():
+    hist = Histogram()
+    assert hist.p50 is None and hist.percentile(99) is None
+    for value in (4.0, 1.0, 3.0, 2.0):
+        hist.observe(value)
+    assert hist.percentile(0) == 1.0  # rank clamps to the first stat
+    assert hist.p50 == 2.0
+    assert hist.percentile(75) == 3.0
+    assert hist.p95 == 4.0 and hist.p99 == 4.0
+    assert hist.percentile(100) == 4.0
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+def test_percentiles_on_a_known_distribution():
+    hist = Histogram()
+    for value in range(1, 101):  # 1..100, uniform
+        hist.observe(float(value))
+    assert hist.p50 == 50.0
+    assert hist.p95 == 95.0
+    assert hist.p99 == 99.0
+
+
+def test_sample_store_stays_bounded_and_quantiles_stay_close():
+    from repro.obs.metrics import SAMPLE_CAP
+
+    hist = Histogram()
+    n = 10 * SAMPLE_CAP
+    for value in range(n):
+        hist.observe(float(value))
+    assert len(hist.samples) <= 2 * SAMPLE_CAP
+    assert hist.count == n
+    # Compression keeps evenly spaced order statistics: quantiles stay
+    # within one compression step of the exact answer.
+    step = n / SAMPLE_CAP
+    assert abs(hist.p50 - 0.50 * n) <= 2 * step
+    assert abs(hist.p99 - 0.99 * n) <= 2 * step
+    assert hist.min == 0.0 and hist.max == float(n - 1)
+
+
+def test_snapshot_carries_samples_and_percentiles():
+    registry = MetricsRegistry()
+    hist = registry.histogram("campaign.chunk_seconds")
+    for value in (0.3, 0.1, 0.2):
+        hist.observe(value)
+    summary = registry.snapshot()["histograms"]["campaign.chunk_seconds"]
+    assert summary["p50"] == 0.2
+    assert summary["p95"] == 0.3
+    assert summary["samples"] == [[0.1, 1.0], [0.2, 1.0], [0.3, 1.0]]
+    rebuilt = MetricsRegistry.from_snapshot(registry.snapshot())
+    assert rebuilt.histogram("campaign.chunk_seconds").p50 == 0.2
+
+
+def test_combine_merges_sample_pools():
+    ours = Histogram()
+    for value in (1.0, 2.0):
+        ours.observe(value)
+    theirs = Histogram()
+    for value in (3.0, 4.0, 5.0, 6.0):
+        theirs.observe(value)
+    ours.combine(theirs.summary())
+    assert ours.count == 6
+    assert ours.p50 == 3.0
+    assert ours.max == 6.0
+
+
+def test_combine_tolerates_pre_percentile_snapshots():
+    hist = Histogram()
+    hist.observe(1.0)
+    # A legacy summary without a sample pool merges its count/sum/min/
+    # max but contributes nothing to quantiles.
+    hist.combine({"count": 3, "sum": 30.0, "min": 9.0, "max": 11.0})
+    assert hist.count == 4
+    assert hist.p50 == 1.0  # only the local sample is in the pool
+    assert hist.max == 11.0
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.floats(min_value=0, max_value=1000, allow_nan=False),
+            max_size=50,
+        ),
+        min_size=2,
+        max_size=5,
+    ),
+    st.randoms(),
+)
+def test_histogram_merge_percentiles_are_deterministic(chunks, rng):
+    """Same snapshots, same order → identical quantiles, every time."""
+
+    def merged(snapshots):
+        registry = MetricsRegistry.merged(
+            {"histograms": {"h": s}} for s in snapshots
+        )
+        hist = registry.histogram("h")
+        return (hist.p50, hist.p95, hist.p99, sorted(hist.samples))
+
+    snapshots = []
+    for chunk in chunks:
+        hist = Histogram()
+        for value in chunk:
+            hist.observe(value)
+        snapshots.append(hist.summary())
+    assert merged(snapshots) == merged(snapshots)
+    # Order-invariance of the *sorted pool* (and hence the quantiles):
+    # the pool is a function of the sample multiset only.
+    shuffled = list(snapshots)
+    rng.shuffle(shuffled)
+    assert merged(shuffled)[3] == merged(snapshots)[3]

@@ -1,0 +1,236 @@
+"""Tests for the span-trace profiler (hotspots + flamegraph export).
+
+The profiler's contract: self time is cumulative time minus direct
+children (never negative), names aggregate across tree depths, the
+folded-stack export is the exact flamegraph.pl input format and
+round-trips through the strict parser, and a real traced campaign
+trace (the kind ``$REPRO_TRACE=1`` leaves behind, worker chunks
+absorbed and all) folds without loss.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import profile as profile_mod
+
+
+def _event(
+    id: int,
+    name: str,
+    dur: float,
+    parent: int | None = None,
+    status: str = "ok",
+) -> dict:
+    return {
+        "id": id,
+        "parent": parent,
+        "name": name,
+        "pid": 1,
+        "t0": 0.0,
+        "t1": dur,
+        "dur": dur,
+        "status": status,
+    }
+
+
+# ----------------------------------------------------------------------
+# aggregate: self / cumulative arithmetic
+# ----------------------------------------------------------------------
+def test_self_time_excludes_direct_children():
+    events = [
+        _event(0, "campaign.run", 1.0),
+        _event(1, "campaign.chunk", 0.7, parent=0),
+        _event(2, "dp.compute_test_set", 0.4, parent=1),
+        _event(3, "bdd.gc", 0.1, parent=1),
+    ]
+    stats = profile_mod.aggregate(events)
+    assert stats["campaign.run"].cum == pytest.approx(1.0)
+    assert stats["campaign.run"].self_time == pytest.approx(0.3)
+    assert stats["campaign.chunk"].self_time == pytest.approx(0.2)
+    # Leaves keep their full duration as self time.
+    assert stats["dp.compute_test_set"].self_time == pytest.approx(0.4)
+    assert stats["bdd.gc"].self_time == pytest.approx(0.1)
+    # Total self time equals the root's wall time: nothing double-counted.
+    total = sum(s.self_time for s in stats.values())
+    assert total == pytest.approx(1.0)
+
+
+def test_same_name_at_different_depths_aggregates():
+    events = [
+        _event(0, "campaign.chunk", 1.0),
+        _event(1, "analyze", 0.6, parent=0),
+        _event(2, "analyze", 0.2, parent=0),
+    ]
+    stats = profile_mod.aggregate(events)
+    analyze = stats["analyze"]
+    assert analyze.calls == 2
+    assert analyze.cum == pytest.approx(0.8)
+    assert analyze.self_time == pytest.approx(0.8)
+    assert analyze.mean == pytest.approx(0.4)
+    assert stats["campaign.chunk"].self_time == pytest.approx(0.2)
+
+
+def test_self_time_clamps_rounding_drift_at_zero():
+    # Children sum to slightly more than the parent (timestamp rounding).
+    events = [
+        _event(0, "parent", 0.5),
+        _event(1, "child", 0.5000001, parent=0),
+    ]
+    stats = profile_mod.aggregate(events)
+    assert stats["parent"].self_time == 0.0
+
+
+def test_missing_parent_does_not_steal_self_time():
+    # The parent id is real but its event is outside this batch: the
+    # orphan keeps its full duration (and folds as its own root below).
+    events = [_event(5, "orphan", 0.3, parent=99)]
+    stats = profile_mod.aggregate(events)
+    assert stats["orphan"].self_time == pytest.approx(0.3)
+
+
+def test_error_spans_are_counted():
+    events = [
+        _event(0, "analyze", 0.1),
+        _event(1, "analyze", 0.1, status="error"),
+    ]
+    stats = profile_mod.aggregate(events)
+    assert stats["analyze"].errors == 1
+    assert stats["analyze"].calls == 2
+
+
+def test_duration_percentiles_feed_the_hotspot_table():
+    events = [_event(i, "analyze", 0.010 * (i + 1)) for i in range(100)]
+    stats = profile_mod.aggregate(events)
+    hist = stats["analyze"].durations
+    assert hist.p50 == pytest.approx(0.50, abs=0.02)
+    assert hist.p95 == pytest.approx(0.95, abs=0.02)
+    assert hist.p99 == pytest.approx(0.99, abs=0.02)
+    table = profile_mod.hotspot_table(stats)
+    assert "p95 ms" in table[0]
+    assert "analyze" in table[1]
+
+
+def test_hotspot_table_rank_and_sort_modes():
+    events = [
+        _event(0, "outer", 1.0),
+        _event(1, "inner", 0.9, parent=0),  # self 0.9, cum 0.9
+    ]
+    stats = profile_mod.aggregate(events)  # outer: self 0.1, cum 1.0
+    by_self = profile_mod.hotspot_table(stats, sort="self")
+    assert by_self[1].split()[0] == "inner"
+    by_cum = profile_mod.hotspot_table(stats, sort="cum")
+    assert by_cum[1].split()[0] == "outer"
+    top1 = profile_mod.hotspot_table(stats, top=1)
+    assert len(top1) == 2  # header + one row
+    with pytest.raises(ValueError):
+        profile_mod.hotspot_table(stats, sort="mean")
+
+
+# ----------------------------------------------------------------------
+# Folded stacks
+# ----------------------------------------------------------------------
+def test_fold_stacks_builds_root_to_leaf_paths():
+    events = [
+        _event(0, "campaign.run", 1.0),
+        _event(1, "campaign.chunk", 0.7, parent=0),
+        _event(2, "dp.compute_test_set", 0.4, parent=1),
+    ]
+    folded = profile_mod.fold_stacks(events)
+    assert folded == {
+        "campaign.run": 300_000,
+        "campaign.run;campaign.chunk": 300_000,
+        "campaign.run;campaign.chunk;dp.compute_test_set": 400_000,
+    }
+    # Total folded microseconds == total wall of the root.
+    assert sum(folded.values()) == 1_000_000
+
+
+def test_fold_stacks_roots_orphans_and_drops_zero_frames():
+    events = [
+        _event(0, "orphan", 0.001, parent=42),  # parent outside the batch
+        _event(1, "empty", 0.0),  # rounds to zero µs → dropped
+    ]
+    folded = profile_mod.fold_stacks(events)
+    assert folded == {"orphan": 1000}
+
+
+def test_fold_stacks_merges_identical_paths():
+    events = [
+        _event(0, "run", 0.5),
+        _event(1, "analyze", 0.2, parent=0),
+        _event(2, "analyze", 0.1, parent=0),
+    ]
+    folded = profile_mod.fold_stacks(events)
+    assert folded["run;analyze"] == 300_000
+
+
+def test_folded_render_parse_roundtrip():
+    folded = {"a;b;c": 123, "a;b": 7, "root": 999_999}
+    text = profile_mod.render_folded(folded)
+    assert profile_mod.parse_folded(text) == folded
+    # Deterministic: path-sorted lines.
+    assert text.splitlines() == sorted(text.splitlines())
+
+
+@pytest.mark.parametrize(
+    "bad", ["no-count-here", "stack -5", "stack 1.5", " 42", "stack 1 2 x"]
+)
+def test_parse_folded_rejects_malformed_lines(bad):
+    with pytest.raises(ValueError):
+        profile_mod.parse_folded(bad)
+
+
+def test_profile_report_header_counts():
+    events = [_event(0, "run", 1.0), _event(1, "run", 2.0)]
+    lines = profile_mod.profile_report(events)
+    assert lines[0].startswith("2 spans, 1 span names")
+
+
+# ----------------------------------------------------------------------
+# End to end: a real traced c432 campaign trace round-trips
+# ----------------------------------------------------------------------
+def test_c432_campaign_trace_flamegraph_roundtrip(tmp_path):
+    """Acceptance: a ``$REPRO_TRACE=1`` c432 campaign trace folds and
+    parses back losslessly in folded-stack format."""
+    from repro.benchcircuits import get_circuit
+    from repro.experiments import campaigns
+    from repro.experiments.config import get_scale
+    from repro.faults.stuck_at import collapsed_checkpoint_faults
+
+    circuit = get_circuit("c432")
+    faults = collapsed_checkpoint_faults(circuit)[:40]
+    scale = get_scale("ci")
+
+    prev = obs.get_tracer()
+    tracer = obs.Tracer()
+    obs.set_tracer(tracer)
+    try:
+        campaigns.clear_campaign_caches()
+        campaigns._run(circuit, "c432", scale, faults, bridging=False)
+    finally:
+        obs.set_tracer(prev)
+        campaigns.clear_campaign_caches()
+
+    trace_path = tmp_path / "trace_c432.jsonl"
+    assert tracer.export_jsonl(trace_path) > len(faults)
+    events = profile_mod.load_trace(trace_path)
+
+    stats = profile_mod.aggregate(events)
+    assert stats["dp.compute_test_set"].calls == len(faults)
+    assert "campaign.chunk" in stats
+
+    flame_path = profile_mod.write_folded(events, tmp_path / "c432.folded")
+    folded = profile_mod.parse_folded(
+        flame_path.read_text(encoding="utf-8")
+    )
+    assert folded == profile_mod.fold_stacks(events)
+    # The campaign stack appears as a root→leaf path, and the folded
+    # total equals the trace's total self time (to µs rounding).
+    assert any(
+        path.endswith("dp.compute_test_set") and "campaign.chunk" in path
+        for path in folded
+    )
+    total_self_us = 1e6 * sum(s.self_time for s in stats.values())
+    assert sum(folded.values()) == pytest.approx(total_self_us, abs=len(events))

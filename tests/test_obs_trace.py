@@ -353,3 +353,67 @@ def test_json_safe_bounds_recursion_depth():
     for _ in range(40):
         nested = [nested]
     json.dumps(json_safe(nested))  # deep nesting degrades to str, not crash
+
+
+def test_absorb_empty_payload_is_a_noop(active_tracer):
+    """A chunk that traced nothing (or a pre-obs worker) merges cleanly."""
+    with obs.span("campaign.run"):
+        assert active_tracer.absorb([]) == 0
+        assert active_tracer.absorb(()) == 0
+    assert [e["name"] for e in active_tracer.events] == ["campaign.run"]
+    # Id allocation was untouched: the next span gets the next id.
+    before = active_tracer.events[-1]["id"]
+    with obs.span("next"):
+        pass
+    assert active_tracer.events[-1]["id"] == before + 1
+
+
+def test_absorb_failed_chunk_preserves_error_status(active_tracer):
+    worker = obs.Tracer()
+    with pytest.raises(RuntimeError):
+        with worker.span("campaign.chunk", {"index": 0}):
+            with worker.span("dp.compute_test_set"):
+                raise RuntimeError("fault analysis blew up")
+    payload = worker.drain()
+    with obs.span("campaign.run") as root:
+        assert active_tracer.absorb(payload) == 2
+    by_name = {e["name"]: e for e in active_tracer.events}
+    chunk = by_name["campaign.chunk"]
+    assert chunk["status"] == "error" and chunk["exc"] == "RuntimeError"
+    assert chunk["parent"] == root.id
+    inner = by_name["dp.compute_test_set"]
+    assert inner["status"] == "error"
+    assert inner["parent"] == chunk["id"]
+
+
+def test_absorb_mixed_empty_and_failed_chunks_stays_deterministic(
+    active_tracer,
+):
+    """The parallel merge absorbs per-chunk payloads in shard-index
+    order; empty and failed chunks must not perturb ids or parents."""
+    payloads = {}
+    for index in range(3):
+        worker = obs.Tracer()
+        if index == 1:
+            payloads[index] = worker.drain()  # traced nothing
+            continue
+        try:
+            with worker.span("campaign.chunk", {"index": index}):
+                if index == 2:
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        payloads[index] = worker.drain()
+    with obs.span("campaign.run") as root:
+        absorbed = [
+            active_tracer.absorb(payloads[i]) for i in sorted(payloads)
+        ]
+    assert absorbed == [1, 0, 1]
+    chunks = [
+        e for e in active_tracer.events if e["name"] == "campaign.chunk"
+    ]
+    assert [c["attrs"]["index"] for c in chunks] == [0, 2]
+    assert [c["status"] for c in chunks] == ["ok", "error"]
+    assert all(c["parent"] == root.id for c in chunks)
+    ids = [e["id"] for e in active_tracer.events]
+    assert len(set(ids)) == len(ids)
