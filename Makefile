@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-all test-parallel test-gc verify verify-full coverage bench bench-parallel bench-gc bench-obs experiments experiments-paper trace-demo flamegraph perf-record perf-check perf-report examples clean
+.PHONY: install test test-all test-parallel test-gc verify verify-full coverage bench bench-parallel bench-gc bench-obs bench-sifting experiments experiments-paper trace-demo flamegraph perf-record perf-check perf-report examples clean
 
 # line-coverage floor enforced on the core engine, the verify layer and
 # the simulation engines (including the bit-parallel kernel)
@@ -46,6 +46,10 @@ bench-gc:
 
 bench-obs:
 	$(PYTHON) -m pytest benchmarks/test_bench_obs.py --benchmark-only
+
+# Fast C432 arm only; add -m "" for the slow C1908 acceptance run.
+bench-sifting:
+	$(PYTHON) -m pytest benchmarks/test_bench_sifting.py --benchmark-only
 
 experiments:
 	$(PYTHON) -m repro.experiments --out results/

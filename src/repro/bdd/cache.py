@@ -14,6 +14,14 @@ died must be dropped — a freed slot can be reused for a *different*
 node, and a stale entry keyed on the old id would silently return a
 wrong result.
 
+Dynamic reordering (:meth:`BDDManager.sift
+<repro.bdd.manager.BDDManager.sift>`) cannot invalidate selectively:
+quantifier keys embed level *frozensets* and restrict/compose keys
+embed level ints, all of which change meaning when variables move, and
+even pure node-id keys describe results under the old order. A reorder
+therefore drops the computed table wholesale via
+:meth:`OperationCache.clear` (counters survive; they are cumulative).
+
 :class:`ManagerStats` is the plain-scalar snapshot of all of this
 (live/allocated nodes, GC totals, cache rates); it is picklable so the
 parallel campaign workers can ship it home inside their chunk stats.
@@ -104,6 +112,10 @@ class ManagerStats:
     cache_evictions: int
     cache_invalidations: int
     op_stats: tuple[OpCacheStats, ...]
+    # Dynamic-reordering totals (see BDDManager.sift): number of sifting
+    # passes and cumulative adjacent-level swaps across them.
+    reorder_runs: int = 0
+    reorder_swaps: int = 0
 
     @property
     def cache_hit_rate(self) -> float:

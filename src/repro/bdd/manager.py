@@ -37,6 +37,8 @@ The manager works on raw integer handles for speed; the friendlier
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from time import perf_counter
 from typing import Iterable, Iterator, Sequence
 
 from repro.bdd.cache import (
@@ -66,6 +68,52 @@ _FREED = -1
 
 class BDDError(Exception):
     """Raised on misuse of the BDD layer (unknown variables, mixed managers...)."""
+
+
+@dataclass(frozen=True)
+class ReorderStats:
+    """Outcome of one reordering pass (:meth:`BDDManager.sift`).
+
+    ``nodes_before``/``nodes_after`` are live-node counts in the same
+    units as :attr:`BDDManager.num_live_nodes` (terminals included);
+    ``nodes_before`` is measured *after* the pre-pass garbage sweep, so
+    the reduction credited here is the reordering's alone.
+    """
+
+    swaps: int
+    nodes_before: int
+    nodes_after: int
+    seconds: float
+
+    @property
+    def reduction(self) -> float:
+        """Fractional live-node reduction achieved by the pass."""
+        if not self.nodes_before:
+            return 0.0
+        return 1.0 - self.nodes_after / self.nodes_before
+
+
+class _ReorderState:
+    """Bookkeeping shared by the adjacent swaps of one reordering pass.
+
+    ``by_level[lv]`` is the set of live internal nodes decided at level
+    ``lv``; ``ref[u]`` counts ``u``'s parents plus one pin if ``u`` is
+    externally referenced (so a pinned node can never cascade-die);
+    ``dead`` accumulates slots whose last parent released them — they
+    are only moved to the manager's free list when the pass ends, so an
+    id freed mid-pass can never be re-issued within the same pass;
+    ``size`` tracks the live internal-node total (the sifting objective).
+    """
+
+    __slots__ = ("by_level", "ref", "dead", "size")
+
+    def __init__(
+        self, by_level: list[set[int]], ref: list[int], size: int
+    ) -> None:
+        self.by_level = by_level
+        self.ref = ref
+        self.dead: list[int] = []
+        self.size = size
 
 
 class BDDManager:
@@ -106,6 +154,9 @@ class BDDManager:
         self._extrefs: dict[int, int] = {}
         self._gc_runs = 0
         self._reclaimed_total = 0
+        self._reorder_runs = 0
+        self._reorder_swaps = 0
+        self._last_reorder: ReorderStats | None = None
         for name in variables:
             self.add_var(name)
 
@@ -336,7 +387,343 @@ class BDDManager:
             cache_evictions=sum(cache.evictions),
             cache_invalidations=cache.invalidated,
             op_stats=cache.op_stats(),
+            reorder_runs=self._reorder_runs,
+            reorder_swaps=self._reorder_swaps,
         )
+
+    # ------------------------------------------------------------------
+    # Dynamic variable reordering (Rudell sifting)
+    # ------------------------------------------------------------------
+    #
+    # Reordering rewrites the diagram *in place*: live node ids never
+    # change, so Function handles and raw ints registered through
+    # incref() stay valid across a pass (they simply denote the same
+    # function under the new order). Three invalidation rules make that
+    # sound:
+    #
+    # * the computed table and the counting memo are dropped wholesale
+    #   at the start and end of a pass (their keys embed levels, and
+    #   results describe the old order — see bdd/cache.py);
+    # * every pass starts with a garbage sweep, so reordering shares
+    #   gc()'s contract: raw node ints NOT registered via incref() are
+    #   treated as garbage. Call sites must hold roots, which is why
+    #   the engine only reorders at its between-fault GC boundary;
+    # * slots that die mid-pass are quarantined until the pass ends, so
+    #   an id can never be re-issued while swaps are still in flight.
+
+    @property
+    def reorder_runs(self) -> int:
+        """Number of completed :meth:`sift` passes."""
+        return self._reorder_runs
+
+    @property
+    def reorder_swaps(self) -> int:
+        """Cumulative adjacent-level swaps across all reordering."""
+        return self._reorder_swaps
+
+    @property
+    def last_reorder(self) -> ReorderStats | None:
+        """Stats of the most recent :meth:`sift` pass (``None`` before any)."""
+        return self._last_reorder
+
+    def swap_adjacent(self, level: int) -> ReorderStats:
+        """Exchange variable levels ``level`` and ``level + 1`` in place.
+
+        The primitive behind :meth:`sift`, exposed for testing and for
+        callers that want to steer the order manually. Shares gc()'s
+        root contract (unregistered raw ints are collected first).
+        """
+        if not 0 <= level < self.num_vars - 1:
+            raise BDDError(
+                f"swap_adjacent needs 0 <= level < {self.num_vars - 1}, "
+                f"got {level}"
+            )
+        start = perf_counter()
+        st = self._reorder_begin()
+        nodes_before = st.size
+        self._swap_levels(level, st)
+        nodes_after = st.size
+        self._reorder_end(st)
+        self._reorder_swaps += 1
+        return ReorderStats(
+            swaps=1,
+            nodes_before=nodes_before + 2,
+            nodes_after=nodes_after + 2,
+            seconds=perf_counter() - start,
+        )
+
+    def sift(
+        self, max_growth: float = 1.2, max_vars: int | None = None
+    ) -> ReorderStats:
+        """Rudell sifting: move every variable to its best position.
+
+        Variables are processed in decreasing order of level population
+        (big levels first — they have the most to gain). Each one is
+        bubbled through the whole order by adjacent swaps and parked at
+        the position that minimized the live node count; a sweep
+        direction is abandoned early once the diagram grows beyond
+        ``max_growth`` × the size at that variable's start. ``max_vars``
+        caps how many variables are sifted (all by default).
+
+        Like :meth:`gc`, a pass first collects everything unreachable
+        from the registered roots; surviving node ids are preserved, so
+        ``Function`` handles and incref'd ints remain valid.
+        """
+        if max_growth < 1.0:
+            raise BDDError(f"max_growth must be >= 1.0, got {max_growth}")
+        start = perf_counter()
+        with _span("bdd.reorder") as sp:
+            st = self._reorder_begin()
+            nodes_before = st.size
+            swaps = 0
+            if self.num_vars >= 2 and st.size:
+                ranked = sorted(
+                    self._var_names,
+                    key=lambda name: len(st.by_level[self._var_index[name]]),
+                    reverse=True,
+                )
+                if max_vars is not None:
+                    ranked = ranked[:max_vars]
+                for name in ranked:
+                    swaps += self._sift_var(name, st, max_growth)
+            nodes_after = st.size
+            self._reorder_end(st)
+            self._reorder_runs += 1
+            self._reorder_swaps += swaps
+            stats = ReorderStats(
+                swaps=swaps,
+                nodes_before=nodes_before + 2,
+                nodes_after=nodes_after + 2,
+                seconds=perf_counter() - start,
+            )
+            self._last_reorder = stats
+            sp.set(
+                swaps=swaps,
+                nodes_before=stats.nodes_before,
+                nodes_after=stats.nodes_after,
+            )
+        return stats
+
+    def _sift_var(
+        self, name: str, st: _ReorderState, max_growth: float
+    ) -> int:
+        """Bubble one variable to its best position; returns swaps used."""
+        n = self.num_vars
+        pos = self._var_index[name]
+        best_size = st.size
+        best_pos = pos
+        limit = max_growth * st.size
+        swaps = 0
+
+        def sweep_down() -> None:
+            nonlocal pos, best_size, best_pos, swaps
+            while pos < n - 1:
+                self._swap_levels(pos, st)
+                swaps += 1
+                pos += 1
+                if st.size < best_size:
+                    best_size, best_pos = st.size, pos
+                elif st.size > limit:
+                    break
+
+        def sweep_up() -> None:
+            nonlocal pos, best_size, best_pos, swaps
+            while pos > 0:
+                self._swap_levels(pos - 1, st)
+                swaps += 1
+                pos -= 1
+                if st.size < best_size:
+                    best_size, best_pos = st.size, pos
+                elif st.size > limit:
+                    break
+
+        # Head for the closer end first: if that direction aborts on
+        # growth, the way back passes through the start position anyway.
+        if n - 1 - pos <= pos:
+            sweep_down()
+            sweep_up()
+        else:
+            sweep_up()
+            sweep_down()
+        while pos < best_pos:
+            self._swap_levels(pos, st)
+            swaps += 1
+            pos += 1
+        while pos > best_pos:
+            self._swap_levels(pos - 1, st)
+            swaps += 1
+            pos -= 1
+        return swaps
+
+    def _reorder_begin(self) -> _ReorderState:
+        """Sweep garbage, drop order-dependent caches, build swap state."""
+        self._cache.clear()
+        self._count_memo.clear()
+        self._gc_sweep()
+        level, low, high = self._level, self._low, self._high
+        by_level: list[set[int]] = [set() for _ in self._var_names]
+        ref = [0] * len(level)
+        for u in range(2, len(level)):
+            if level[u] == _FREED:
+                continue
+            by_level[level[u]].add(u)
+            ref[low[u]] += 1
+            ref[high[u]] += 1
+        # One pin per externally referenced node: pinned nodes can lose
+        # every internal parent without cascading onto the dead list.
+        for u in self._extrefs:
+            ref[u] += 1
+        size = len(self._level) - len(self._free) - 2
+        return _ReorderState(by_level, ref, size)
+
+    def _reorder_end(self, st: _ReorderState) -> None:
+        """Release quarantined dead slots and re-drop the caches."""
+        level, free = self._level, self._free
+        for u in st.dead:
+            level[u] = _FREED
+            free.append(u)
+        self._cache.clear()
+        self._count_memo.clear()
+
+    def _swap_levels(self, i: int, st: _ReorderState) -> None:
+        """Exchange variable levels ``i`` and ``i + 1`` in place.
+
+        Level-``i+1`` nodes keep their structure (their decision
+        variable just moves up). Level-``i`` nodes independent of the
+        level-``i+1`` variable slide down unchanged. The rest are
+        rewired through the swap identity
+
+            ite(a, ite(b, f11, f10), ite(b, f01, f00))
+          = ite(b, ite(a, f11, f01), ite(a, f10, f00))
+
+        keeping their ids (only ``low``/``high`` change), so external
+        handles survive. Distinct live nodes denote distinct functions
+        (canonicity), hence the freshly registered triples can never
+        collide in the unique table.
+        """
+        j = i + 1
+        level, low, high = self._level, self._low, self._high
+        unique = self._unique
+        by_level, ref = st.by_level, st.ref
+        a_nodes = by_level[i]
+        b_nodes = by_level[j]
+        # Retire both levels' unique-table keys before any node changes
+        # shape: with the key space empty, transient aliasing between
+        # old and new triples is impossible.
+        for u in a_nodes:
+            del unique[(i, low[u], high[u])]
+        for v in b_nodes:
+            del unique[(j, low[v], high[v])]
+        # Level-j nodes move up unchanged. From here on ``b_nodes`` also
+        # serves as the "was decided at level j" membership test — its
+        # ids are disjoint from every old child examined below, because
+        # children of level-i nodes sit strictly below level i.
+        for v in b_nodes:
+            level[v] = i
+            unique[(i, low[v], high[v])] = v
+        new_j: set[int] = set()
+        rewired: list[int] = []
+        for u in a_nodes:
+            if low[u] in b_nodes or high[u] in b_nodes:
+                rewired.append(u)
+            else:
+                # Independent of the level-j variable: slide down as-is.
+                level[u] = j
+                unique[(j, low[u], high[u])] = u
+                new_j.add(u)
+        by_level[i] = b_nodes
+        by_level[j] = new_j
+        for u in rewired:
+            f0, f1 = low[u], high[u]
+            if f0 in b_nodes:
+                f00, f01 = low[f0], high[f0]
+            else:
+                f00 = f01 = f0
+            if f1 in b_nodes:
+                f10, f11 = low[f1], high[f1]
+            else:
+                f10 = f11 = f1
+            # New cofactors on the former level-i variable, now at j.
+            if f00 == f10:
+                nf0 = f00
+            else:
+                key = (j, f00, f10)
+                nf0 = unique.get(key)
+                if nf0 is None:
+                    nf0 = self._reorder_new_node(j, f00, f10, st)
+                    unique[key] = nf0
+                    new_j.add(nf0)
+            if f01 == f11:
+                nf1 = f01
+            else:
+                key = (j, f01, f11)
+                nf1 = unique.get(key)
+                if nf1 is None:
+                    nf1 = self._reorder_new_node(j, f01, f11, st)
+                    unique[key] = nf1
+                    new_j.add(nf1)
+            # nf0 != nf1 always: equal cofactors would mean u does not
+            # depend on the level-j variable, contradicting the rewire
+            # test above. Rewire u in place and release its old children.
+            low[u] = nf0
+            high[u] = nf1
+            unique[(i, nf0, nf1)] = u
+            ref[nf0] += 1
+            ref[nf1] += 1
+            self._reorder_deref(f0, st)
+            self._reorder_deref(f1, st)
+        b_nodes.update(rewired)
+        # The two levels trade variables; everything else is untouched.
+        names = self._var_names
+        names[i], names[j] = names[j], names[i]
+        self._var_index[names[i]] = i
+        self._var_index[names[j]] = j
+
+    def _reorder_new_node(
+        self, lv: int, lo: int, hi: int, st: _ReorderState
+    ) -> int:
+        """Allocate a node during a swap (free-list reuse, ref upkeep)."""
+        free = self._free
+        if free:
+            node = free.pop()
+            self._level[node] = lv
+            self._low[node] = lo
+            self._high[node] = hi
+        else:
+            node = len(self._level)
+            self._level.append(lv)
+            self._low.append(lo)
+            self._high.append(hi)
+            st.ref.append(0)
+        st.ref[lo] += 1
+        st.ref[hi] += 1
+        st.size += 1
+        return node
+
+    def _reorder_deref(self, v: int, st: _ReorderState) -> None:
+        """Release one parent reference to ``v``, cascading on death.
+
+        Iterative on an explicit stack — a dying chain can be as deep
+        as the variable order. Dead slots are quarantined on
+        ``st.dead`` (not the free list) until the pass ends.
+        """
+        ref = st.ref
+        level, low, high = self._level, self._low, self._high
+        unique = self._unique
+        by_level = st.by_level
+        extrefs = self._extrefs
+        stack = [v]
+        while stack:
+            v = stack.pop()
+            ref[v] -= 1
+            if v > TRUE and ref[v] == 0 and v not in extrefs:
+                lv = level[v]
+                del unique[(lv, low[v], high[v])]
+                by_level[lv].discard(v)
+                st.dead.append(v)
+                st.size -= 1
+                stack.append(low[v])
+                stack.append(high[v])
 
     # ------------------------------------------------------------------
     # Core operator: if-then-else

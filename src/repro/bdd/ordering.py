@@ -34,23 +34,30 @@ def dfs_fanin_order(circuit: _NetlistLike) -> list[str]:
     cone depth-first and emit primary inputs in first-visit order. Inputs
     that feed no output are appended in declared order so the result is
     always a permutation of ``circuit.inputs``.
+
+    Iterative on an explicit stack: fanin cones can be deeper than the
+    interpreter's recursion limit (a 5000-gate inverter chain is a
+    legitimate netlist), which used to blow up a recursive walk here the
+    same way it once did in ``transfer()``.
     """
     order: list[str] = []
     seen: set[str] = set()
     input_set = set(circuit.inputs)
 
-    def visit(name: str) -> None:
-        if name in seen:
-            return
-        seen.add(name)
-        if name in input_set:
-            order.append(name)
-            return
-        for fanin in circuit.fanins(name):
-            visit(fanin)
-
     for output in circuit.outputs:
-        visit(output)
+        # The stack holds names still to visit; pushing a node's fanins
+        # in reverse makes the pop order match the recursive version's
+        # declared-order descent, so first-visit order is preserved.
+        stack = [output]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            if name in input_set:
+                order.append(name)
+                continue
+            stack.extend(reversed(circuit.fanins(name)))
     for name in circuit.inputs:
         if name not in seen:
             seen.add(name)

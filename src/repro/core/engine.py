@@ -26,11 +26,23 @@ population exceeds ``rebuild_node_limit`` does the engine fall back to
 the legacy whole-manager rebuild (a full good-function reconstruction
 in a fresh manager) — with GC enabled that path should never trigger
 on the paper's workloads.
+
+When dynamic reordering is enabled (``reorder=True``, or
+``$REPRO_REORDER`` with the default ``reorder=None``), the engine
+additionally sifts the variable order (:meth:`BDDManager.sift
+<repro.bdd.manager.BDDManager.sift>`): once right after the good
+functions are built — the build usually dominates the live population,
+so a campaign under a bad declared order gains the most there — and
+again at the between-fault GC boundary whenever the post-sweep live
+count has grown past ``reorder_growth`` × the post-sift baseline.
+Sifting shares GC's root contract and id stability, so it slots into
+exactly the same safe point.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+import os
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.bdd.cache import ManagerStats
 from repro.bdd.function import Function
@@ -50,6 +62,21 @@ from repro.faults.stuck_at import StuckAtFault
 #: safe even for circuits whose good functions alone exceed it.
 DEFAULT_GC_NODE_LIMIT = 100_000
 
+#: Environment switch for dynamic variable reordering. Engines built
+#: with ``reorder=None`` (the default everywhere, including the verify
+#: sweeps) consult it, so ``REPRO_REORDER=1`` flips a whole run.
+REORDER_ENV = "REPRO_REORDER"
+_FALSEY = frozenset(("", "0", "false", "no", "off"))
+
+#: Default live-node growth factor (vs. the post-sift baseline) that
+#: re-triggers sifting at the GC boundary.
+DEFAULT_REORDER_GROWTH = 2.0
+
+
+def env_reorder(environ: Mapping[str, str] = os.environ) -> bool:
+    """True when ``$REPRO_REORDER`` asks for dynamic reordering."""
+    return environ.get(REORDER_ENV, "").strip().lower() not in _FALSEY
+
 
 class DifferencePropagation:
     """Exact (or cut-point-approximate) fault analysis for one circuit."""
@@ -62,6 +89,8 @@ class DifferencePropagation:
         decompose_threshold: int | None = None,
         gc_node_limit: int = DEFAULT_GC_NODE_LIMIT,
         rebuild_node_limit: int = 4_000_000,
+        reorder: bool | None = None,
+        reorder_growth: float = DEFAULT_REORDER_GROWTH,
     ) -> None:
         self.circuit = circuit
         self.functions = functions or CircuitFunctions(
@@ -72,6 +101,31 @@ class DifferencePropagation:
         #: current (adaptive) GC trigger; starts at ``gc_node_limit``
         #: and grows when a sweep finds the store mostly live
         self._gc_threshold = gc_node_limit
+        #: dynamic reordering policy: ``None`` defers to $REPRO_REORDER
+        self.reorder = env_reorder() if reorder is None else bool(reorder)
+        self.reorder_growth = reorder_growth
+        #: sifting passes this engine triggered / swaps they performed
+        self.reorder_runs = 0
+        self.reorder_swaps = 0
+        #: live nodes just before / after the most recent sifting pass
+        self.reorder_nodes_before = 0
+        self.reorder_nodes_after = 0
+        #: post-sift live-node baseline the growth trigger compares to
+        self._reorder_baseline = self.functions.manager.num_live_nodes
+        if self.reorder:
+            # The initial build dominates the live population under a
+            # bad declared order — sift before recording any peaks. A
+            # shared function table may already be sifted (campaigns
+            # reuse one across chunks); only re-sift if it has grown
+            # past the growth factor since, a full pass costs minutes
+            # on the big circuits.
+            last = self.functions.manager.last_reorder
+            if last is None or self.functions.manager.num_live_nodes > (
+                self.reorder_growth * max(last.nodes_after, 1)
+            ):
+                self._sift_now()
+            else:
+                self._reorder_baseline = last.nodes_after
         #: largest node store seen across every manager this engine has
         #: driven (GC slot reuse and rebuilds reset the store, never
         #: this high-water mark)
@@ -201,7 +255,33 @@ class DifferencePropagation:
             live = m.num_live_nodes
             if live > self._gc_threshold // 2:
                 self._gc_threshold = max(self.gc_node_limit, 2 * live)
+        if self.reorder and m.num_live_nodes > self.reorder_growth * max(
+            self._reorder_baseline, self.gc_node_limit
+        ):
+            # Live growth past the post-sift baseline means the current
+            # order is losing to this fault population; re-sift at the
+            # same safe point GC runs at (no raw ints outstanding). The
+            # gc_node_limit floor keeps small circuits from sift-storming:
+            # below it, per-fault transients dwarf any order's footprint
+            # and a pass costs far more than it could ever reclaim.
+            self._sift_now()
         if m.num_live_nodes > self.rebuild_node_limit:
             with _span("dp.rebuild", live_nodes=m.num_live_nodes):
                 self.functions = self.functions.rebuilt()
             self.rebuilds += 1
+            self._reorder_baseline = self.functions.manager.num_live_nodes
+            if self.reorder:
+                self._sift_now()
+
+    def _sift_now(self) -> None:
+        """Run one sifting pass and fold its stats into the telemetry."""
+        stats = self.functions.manager.sift()
+        self.reorder_runs += 1
+        self.reorder_swaps += stats.swaps
+        self.reorder_nodes_before = stats.nodes_before
+        self.reorder_nodes_after = stats.nodes_after
+        self._reorder_baseline = stats.nodes_after
+        # A large reduction leaves the adaptive GC trigger stranded far
+        # above the new working set; pull it back so sweeps resume at
+        # the scale the sifted order actually needs.
+        self._gc_threshold = max(self.gc_node_limit, 2 * stats.nodes_after)

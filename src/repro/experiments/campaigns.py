@@ -67,6 +67,8 @@ CHUNK_COUNTER_METRICS: dict[str, str] = {
     "reclaimed_nodes": "bdd.gc.reclaimed_nodes",
     "gc_runs": "bdd.gc.runs",
     "rebuilds": "bdd.rebuilds",
+    "reorder_runs": "bdd.reorder.runs",
+    "reorder_swaps": "bdd.reorder.swaps",
     "cache_hits": "bdd.cache.hits",
     "cache_misses": "bdd.cache.misses",
     "cache_evictions": "bdd.cache.evictions",
@@ -79,6 +81,8 @@ CHUNK_COUNTER_METRICS: dict[str, str] = {
 CHUNK_GAUGE_METRICS: dict[str, str] = {
     "peak_nodes": "bdd.nodes.peak",
     "live_nodes": "bdd.nodes.live",
+    "reorder_nodes_before": "bdd.reorder.nodes_before",
+    "reorder_nodes_after": "bdd.reorder.nodes_after",
     "batch_size": "sim.batch_size",
 }
 
@@ -114,6 +118,13 @@ class ChunkStat:
     gc_runs: int = 0
     #: whole-manager rebuild fallbacks (should stay 0 with GC enabled)
     rebuilds: int = 0
+    #: sifting passes the engine triggered during this chunk and the
+    #: adjacent-level swaps they performed (zero with reordering off)
+    reorder_runs: int = 0
+    reorder_swaps: int = 0
+    #: live nodes just before / after the chunk's most recent sift
+    reorder_nodes_before: int = 0
+    reorder_nodes_after: int = 0
     #: computed-table hits/misses/evictions accrued during this chunk
     cache_hits: int = 0
     cache_misses: int = 0
@@ -210,6 +221,14 @@ class CampaignResult:
         """Whole-manager rebuild fallbacks, summed over every chunk."""
         return int(self.metrics().counter_value("bdd.rebuilds"))
 
+    def reorder_runs(self) -> int:
+        """Sifting passes triggered, summed over every chunk."""
+        return int(self.metrics().counter_value("bdd.reorder.runs"))
+
+    def reorder_swaps(self) -> int:
+        """Adjacent-level swaps performed, summed over every chunk."""
+        return int(self.metrics().counter_value("bdd.reorder.swaps"))
+
     def cache_hit_rate(self) -> float:
         """Aggregate computed-table hit rate across every chunk."""
         return self.metrics().ratio(
@@ -291,7 +310,7 @@ def telemetry_report() -> list[str]:
         "campaign telemetry (per cached campaign):",
         f"{'circuit':<10} {'model':<12} {'engine':<11} {'faults':>6} "
         f"{'sec':>8} {'peak':>9} {'live':>8} {'reclaimed':>9} {'gc':>4} "
-        f"{'rebuilds':>8} {'cache-hit%':>10}",
+        f"{'rebuilds':>8} {'sifts':>5} {'swaps':>7} {'cache-hit%':>10}",
     ]
     for name, model, _scale_name, engine, result in rows:
         metrics = result.metrics()
@@ -304,6 +323,8 @@ def telemetry_report() -> list[str]:
             f"{int(metrics.counter_value('bdd.gc.reclaimed_nodes')):>9} "
             f"{int(metrics.counter_value('bdd.gc.runs')):>4} "
             f"{int(metrics.counter_value('bdd.rebuilds')):>8} "
+            f"{int(metrics.counter_value('bdd.reorder.runs')):>5} "
+            f"{int(metrics.counter_value('bdd.reorder.swaps')):>7} "
             f"{100 * metrics.ratio('bdd.cache.hits', ('bdd.cache.hits', 'bdd.cache.misses')):>9.1f}%"
         )
     return lines
@@ -484,6 +505,10 @@ def chunk_metrics(
     registry.counter("bdd.gc.reclaimed_nodes").inc(engine.reclaimed_nodes)
     registry.counter("bdd.gc.runs").inc(engine.gc_runs)
     registry.counter("bdd.rebuilds").inc(engine.rebuilds)
+    registry.counter("bdd.reorder.runs").inc(engine.reorder_runs)
+    registry.counter("bdd.reorder.swaps").inc(engine.reorder_swaps)
+    registry.gauge("bdd.reorder.nodes_before").set(engine.reorder_nodes_before)
+    registry.gauge("bdd.reorder.nodes_after").set(engine.reorder_nodes_after)
     registry.counter("bdd.cache.hits").inc(hits)
     registry.counter("bdd.cache.misses").inc(misses)
     registry.counter("bdd.cache.evictions").inc(evictions)
@@ -644,6 +669,7 @@ def run_chunk_body(
             functions=functions,
             gc_node_limit=CAMPAIGN_GC_LIMIT,
             rebuild_node_limit=CAMPAIGN_REBUILD_LIMIT,
+            reorder=scale.effective_reorder(),
         )
         before_manager = functions.manager
         before_stats = before_manager.stats()

@@ -68,6 +68,13 @@ def main(argv: list[str] | None = None) -> int:
         help="fault-campaign engine (default: $REPRO_ENGINE or 'dp')",
     )
     parser.add_argument(
+        "--reorder",
+        action="store_true",
+        help="dynamic OBDD variable reordering (Rudell sifting) in the "
+        "DP engine (same as REPRO_REORDER=1); never changes results, "
+        "only memory/runtime",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -124,6 +131,11 @@ def main(argv: list[str] | None = None) -> int:
         scale = dataclasses.replace(scale, workers=args.workers)
     if args.engine is not None:
         scale = dataclasses.replace(scale, engine=args.engine)
+    if args.reorder:
+        scale = dataclasses.replace(scale, reorder=True)
+        # Propagate through the environment too: pool workers build
+        # their own engines and consult $REPRO_REORDER directly.
+        os.environ["REPRO_REORDER"] = "1"
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
@@ -148,11 +160,12 @@ def main(argv: list[str] | None = None) -> int:
         artifact_dir.mkdir(parents=True, exist_ok=True)
 
     log.info(
-        "scale: %s  circuits: %s%s%s%s",
+        "scale: %s  circuits: %s%s%s%s%s",
         scale.name,
         ", ".join(scale.circuits),
         f"  workers: {args.workers}" if args.workers else "",
         f"  engine: {scale.engine}" if scale.engine else "",
+        "  reorder: on" if scale.effective_reorder() else "",
         "  tracing: on" if tracing else "",
     )
     failures = 0

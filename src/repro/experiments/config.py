@@ -24,6 +24,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.core.engine import env_reorder
+
 
 @dataclass(frozen=True)
 class Scale:
@@ -63,6 +65,12 @@ class Scale:
     #: circuits, sampled beyond them). ``None`` defers to the
     #: ``$REPRO_ENGINE`` environment variable, then ``"dp"``.
     engine: str | None = None
+    #: dynamic variable reordering (Rudell sifting) in the DP engine:
+    #: an initial sift after the good-function build plus growth-
+    #: triggered re-sifts at the GC boundary. Never changes any computed
+    #: quantity, only memory/runtime. ``None`` defers to the
+    #: ``$REPRO_REORDER`` environment variable, then off.
+    reorder: bool | None = None
 
     def stuck_at_limit(self, circuit: str) -> int | None:
         return self.stuck_at_samples.get(circuit)
@@ -87,6 +95,12 @@ class Scale:
         if self.engine is not None:
             return self.engine
         return env_engine()
+
+    def effective_reorder(self) -> bool:
+        """Reordering policy: explicit field, else ``$REPRO_REORDER``."""
+        if self.reorder is not None:
+            return self.reorder
+        return env_reorder()
 
 
 def env_workers() -> int:

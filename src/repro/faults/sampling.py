@@ -19,9 +19,11 @@ distance *z* is kept with probability
 * :func:`solve_theta` — the paper's own calibration: adjust θ so the
   *expected* Bernoulli sample size hits a target ("the value of θ was
   adjusted to facilitate fault sets of reasonable sizes (≈1000
-  faults)"). Note this degenerates when many candidates share exactly
-  tied distances, which the pseudo-layout produces on very regular
-  circuits — hence the exact-size default above.
+  faults)"). Tied distance vectors, which the pseudo-layout produces on
+  very regular circuits, are handled explicitly: an all-tied-at-zero
+  vector raises a diagnostic (no θ can calibrate it — hence the
+  exact-size default above) and an all-tied-nonzero vector is solved in
+  closed form.
 """
 
 from __future__ import annotations
@@ -62,7 +64,17 @@ def solve_theta(
     """θ such that ``sum(exp(-z/θ))`` ≈ ``target_size`` (bisection).
 
     Raises :class:`ValueError` if the target exceeds the candidate
-    count (even θ→∞ keeps every fault with probability 1).
+    count (even θ→∞ keeps every fault with probability 1), or if the
+    distance vector is degenerate in a way no θ can calibrate:
+
+    * **all distances tied at 0** — every candidate is kept with
+      probability 1 regardless of θ, so the expected size is pinned at
+      the candidate count. The pseudo-layout produces exactly this on
+      very regular circuits; use :func:`sample_bridging_faults` there.
+    * **all distances tied at some z > 0** — solvable in closed form
+      (``E[size] = n·e^{-z/θ}``), returned directly without bisection;
+      the old search would creep toward the answer or silently return
+      an arbitrary huge θ depending on the tie value.
     """
     if target_size <= 0:
         raise ValueError("target_size must be positive")
@@ -71,6 +83,17 @@ def solve_theta(
             f"target {target_size} ≥ candidate count {len(distances)}; "
             "no sampling needed"
         )
+    if max(distances) == min(distances):
+        tied = distances[0]
+        if tied == 0.0:
+            raise ValueError(
+                f"all {len(distances)} candidate distances are tied at 0 "
+                "(degenerate pseudo-layout): every fault is kept with "
+                "probability 1 for any θ, so no θ reaches an expected "
+                f"sample of {target_size}. Use sample_bridging_faults() "
+                "(exact-size weighted sampling) for such circuits."
+            )
+        return tied / math.log(len(distances) / target_size)
 
     def expected(theta: float) -> float:
         return sum(math.exp(-z / theta) for z in distances)
@@ -78,15 +101,27 @@ def solve_theta(
     lo, hi = 1e-6, 1.0
     while expected(hi) < target_size:
         hi *= 2.0
-        if hi > 1e9:  # degenerate distance distribution
-            return hi
+        if hi > 1e9:
+            # Mathematically unreachable for a non-degenerate vector
+            # (E → n > target as θ → ∞); if float quirks get us here,
+            # fail loudly instead of silently mis-sizing the sample.
+            raise ValueError(
+                f"θ search diverged: expected size {expected(hi):.1f} < "
+                f"target {target_size} even at θ={hi:.3g}; the distance "
+                "distribution is degenerate — use sample_bridging_faults()."
+            )
     for _ in range(200):
         mid = (lo + hi) / 2.0
+        # The point that satisfied the tolerance is the answer — the
+        # bracket midpoint after the update is a *different* θ that can
+        # miss the target by more than the tolerance promises.
+        if abs(expected(mid) - target_size) < tolerance:
+            return mid
         if expected(mid) < target_size:
             lo = mid
         else:
             hi = mid
-        if hi - lo < 1e-12 or abs(expected(mid) - target_size) < tolerance:
+        if hi - lo < 1e-12:
             break
     return (lo + hi) / 2.0
 

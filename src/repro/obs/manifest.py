@@ -33,6 +33,7 @@ _RECORDED_ENV = (
     "REPRO_SCALE",
     "REPRO_WORKERS",
     "REPRO_ENGINE",
+    "REPRO_REORDER",
     "REPRO_TRACE",
     "REPRO_LOG",
     "REPRO_PROGRESS",
@@ -94,6 +95,9 @@ class RunManifest:
     #: effective campaign engine after ``Scale.engine``/``$REPRO_ENGINE``
     #: resolution (``None`` when no scale/engine context applies)
     engine: str | None = None
+    #: effective dynamic-reordering policy after ``Scale.reorder``/
+    #: ``$REPRO_REORDER`` resolution (``None`` when no context applies)
+    reorder: bool | None = None
 
     @classmethod
     def collect(
@@ -105,6 +109,7 @@ class RunManifest:
         wall_seconds: float | None = None,
         extra: Mapping[str, Any] | None = None,
         engine: str | None = None,
+        reorder: bool | None = None,
     ) -> "RunManifest":
         """Snapshot the current process (pass the run's ``Scale`` if any).
 
@@ -121,6 +126,20 @@ class RunManifest:
                 engine = resolve()
             else:
                 engine = os.environ.get("REPRO_ENGINE", "").strip() or None
+        if reorder is None:
+            resolve = getattr(scale, "effective_reorder", None)
+            if callable(resolve):
+                reorder = resolve()
+            elif "REPRO_REORDER" in os.environ:
+                # same falsey set as core.engine.env_reorder, inlined so
+                # the obs layer stays import-independent of the engine
+                reorder = os.environ["REPRO_REORDER"].strip().lower() not in (
+                    "",
+                    "0",
+                    "false",
+                    "no",
+                    "off",
+                )
         seed = getattr(scale, "seed", None)
         if seed is None:
             try:
@@ -153,6 +172,7 @@ class RunManifest:
             extra=dict(extra or {}),
             numpy=numpy_version(),
             engine=engine,
+            reorder=reorder,
         )
 
     def to_dict(self) -> dict[str, Any]:

@@ -142,7 +142,12 @@ def robust_baseline(values: list[float]) -> tuple[float, float]:
 
 
 def tolerance(median: float, scaled_mad: float) -> float:
-    """Relative tolerance band around the baseline median."""
+    """Relative tolerance band around the baseline median.
+
+    A zero median makes a *relative* band meaningless (any nonzero MAD
+    would divide by zero); return the floor and let
+    :attr:`Finding.regressed` refuse to gate against it.
+    """
     if median == 0:
         return REL_FLOOR
     return max(REL_FLOOR, MAD_K * scaled_mad / abs(median))
@@ -169,6 +174,14 @@ class Finding:
 
     @property
     def regressed(self) -> bool:
+        # A zero baseline median means the metric was degenerate across
+        # the whole comparable window (e.g. recorded as 0.0 by a
+        # timing-disabled run): there is no meaningful midpoint to gate
+        # against, so never flag — the fresh value just seeds a usable
+        # trajectory. This also keeps `delta` (which reports 0.0 for a
+        # zero baseline) from silently masking a would-be verdict.
+        if self.baseline == 0:
+            return False
         if self.direction == "down":  # lower is better; growth regresses
             return self.delta > self.tolerance
         return self.delta < -self.tolerance

@@ -113,7 +113,10 @@ class ProgressMeter:
         """One parallel chunk finished: always heartbeat, with its rate."""
         self.done += faults
         chunk = f"chunk {index}: {faults} faults"
-        if seconds:
+        # An instantaneous chunk (0 faults, cached results, or a clock
+        # that went backwards) has no meaningful rate — omit it rather
+        # than divide by zero or print a negative throughput.
+        if seconds is not None and seconds > 0:
             chunk += f" @ {faults / seconds:.1f} f/s"
         self._emit(self._clock(), detail=chunk)
 

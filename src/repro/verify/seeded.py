@@ -17,6 +17,13 @@ fault-batch slicing bug, each seeded by running a deliberately broken
 :class:`~repro.simulation.bitparallel.BitParallelSimulator` subclass
 through the same oracle battery. They register only when numpy is
 importable, like the engine they sabotage.
+
+One defect class targets the OBDD substrate underneath DP: a dynamic
+variable-reordering swap that rewires a node with its else-cofactor
+dropped. The corrupted manager still satisfies every structural
+health check (ids valid, tables consistent), so catching it requires
+a *semantic* oracle — cross-engine comparison against an engine that
+never reorders.
 """
 
 from __future__ import annotations
@@ -49,13 +56,18 @@ class SeededDefect:
 
     Report-level defects supply ``corrupt``; kernel-level defects
     supply ``engine_factory`` — a constructor for a deliberately
-    defective simulator whose reports then face the oracle battery.
+    defective simulator whose reports then face the oracle battery;
+    substrate-level defects supply ``reports_factory`` — a function
+    producing DP reports off a deliberately corrupted OBDD manager.
     """
 
     name: str
     description: str
     corrupt: Corruption | None = None
     engine_factory: Callable[[Circuit], object] | None = None
+    reports_factory: (
+        Callable[[Circuit, Sequence], list[FaultReport]] | None
+    ) = None
 
 
 def _replace_first(
@@ -190,6 +202,38 @@ def _off_by_one_batches_sim(circuit: Circuit):
     return _OffByOneBatches(circuit, batch_size=8)
 
 
+def _corrupted_reorder_reports(circuit: Circuit, faults) -> list:
+    """Substrate defect: a dynamic-reordering swap drops a rewired
+    node's else-cofactor, duplicating the then-branch — one wrong
+    argument in the swap identity's find-or-create. The node id stays
+    valid and the manager still looks healthy, but every function
+    through that node is now wrong, so only semantic oracles
+    (cross-engine comparison) can see it."""
+    from types import MethodType
+
+    functions = CircuitFunctions(circuit)
+    manager = functions.manager
+    inner = manager._reorder_new_node
+    armed = [True]
+
+    def sabotaged(self, lv: int, lo: int, hi: int, st):
+        if armed[0] and lo != hi:
+            armed[0] = False
+            lo = hi
+        return inner(lv, lo, hi, st)
+
+    manager._reorder_new_node = MethodType(sabotaged, manager)
+    for level in range(manager.num_vars - 1):
+        manager.swap_adjacent(level)
+        if not armed[0]:
+            break
+    if armed[0]:
+        raise ValueError(
+            "no adjacent swap rewired a node; reorder defect not seeded"
+        )
+    return ENGINES["dp"].run(circuit, faults, functions)
+
+
 DEFECTS: tuple[SeededDefect, ...] = (
     SeededDefect(
         "flip-detection-bit",
@@ -220,6 +264,11 @@ DEFECTS: tuple[SeededDefect, ...] = (
         "detectability-overflow",
         "detectability above one (unnormalized satcount)",
         _detectability_overflow,
+    ),
+    SeededDefect(
+        "reorder-dropped-cofactor",
+        "a reordering swap rewires a node with its else-cofactor lost",
+        reports_factory=_corrupted_reorder_reports,
     ),
 )
 
@@ -352,7 +401,18 @@ def run_seeded_self_check(
     )
     outcomes: list[DefectOutcome] = []
     for defect in defects:
-        if defect.engine_factory is not None:
+        if defect.reports_factory is not None:
+            corrupted = defect.reports_factory(circuit, faults)
+            if corrupted == honest_dp:
+                raise ValueError(
+                    f"defect {defect.name!r} did not change any report"
+                )
+            violations = _violations_against(
+                circuit,
+                corrupted,
+                {k: v for k, v in honest.items() if k != "dp"},
+            )
+        elif defect.engine_factory is not None:
             sim = defect.engine_factory(circuit)
             corrupted = _kernel_reports(circuit, faults, sim)
             if corrupted == honest.get("bitparallel"):

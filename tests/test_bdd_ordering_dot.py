@@ -29,6 +29,20 @@ class TestDfsFaninOrder:
         order = dfs_fanin_order(b.build(validate=False))
         assert order == ["a", "unused"]
 
+    def test_deep_cone_survives_5000_gate_chain(self):
+        """Regression: the visit used to recurse per fanin, so any cone
+        deeper than the interpreter recursion limit (ISCAS-scale chains)
+        died with RecursionError. The iterative walk must keep the exact
+        first-visit order the recursion produced."""
+        b = CircuitBuilder("deep")
+        net = b.input("x0")
+        for k in range(1, 5001):
+            extra = b.input(f"x{k}")
+            net = b.and_(net, extra, name=f"g{k}")
+        b.output(net)
+        order = dfs_fanin_order(b.build())
+        assert order == [f"x{k}" for k in range(5001)]
+
 
 class TestInterleavedOrder:
     def test_round_robin(self):

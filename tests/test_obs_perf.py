@@ -133,6 +133,26 @@ def test_tolerance_has_a_relative_floor():
     assert perf.tolerance(1.0, 0.1) == pytest.approx(0.3)
 
 
+def test_zero_median_tolerance_never_divides():
+    """Regression: a baseline window of all zeros used to reach
+    ``MAD_K * scaled_mad / 0`` — any nonzero MAD raised
+    ZeroDivisionError inside the gate."""
+    assert perf.tolerance(0.0, 0.5) == perf.REL_FLOOR
+
+
+def test_all_zero_baseline_never_gates():
+    """Regression: a degenerate all-zero history (e.g. a timing-disabled
+    run recorded 0.0 seconds) must not flag the first real measurement
+    as an infinite regression — the fresh value seeds the trajectory."""
+    history = [_entry(seconds=0.0) for _ in range(8)]
+    findings = perf.check_entry(_entry(seconds=1.25), history)
+    by_metric = {f.metric: f for f in findings}
+    zeroed = by_metric["batch_seconds"]
+    assert zeroed.baseline == 0.0
+    assert not zeroed.regressed
+    assert "ok" in zeroed.render()
+
+
 # ----------------------------------------------------------------------
 # check_entry: the regression gate itself
 # ----------------------------------------------------------------------

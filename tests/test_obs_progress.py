@@ -159,6 +159,22 @@ def test_chunk_done_always_emits_with_chunk_rate(heartbeats):
     assert "[chunk 0: 16 faults @ 32.0 f/s]" in messages[1]
 
 
+def test_zero_second_chunk_omits_the_rate(heartbeats):
+    """Regression: an instantaneous chunk (cached results, coarse clock)
+    used to divide by zero computing the chunk throughput."""
+    clock = FakeClock()
+    meter = progress_mod.ProgressMeter(32, label="fast", clock=clock)
+    clock.now += 0.1
+    meter.chunk_done(index=0, faults=16, seconds=0.0)
+    meter.chunk_done(index=1, faults=16, seconds=-0.5)  # clock went back
+    messages = heartbeats()
+    assert len(messages) == 2
+    assert "[chunk 0: 16 faults]" in messages[0]  # no "@ ... f/s"
+    assert "f/s" not in messages[0].split("[", 1)[1]
+    assert "[chunk 1: 16 faults]" in messages[1]
+    assert meter.done == 32
+
+
 def test_finish_forces_a_final_heartbeat(heartbeats):
     clock = FakeClock()
     meter = progress_mod.ProgressMeter(10, label="done", clock=clock)

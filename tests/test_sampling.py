@@ -101,8 +101,26 @@ class TestSampleBridgingFaults:
 
 
 class TestSolveThetaDegenerate:
-    def test_all_zero_distances_returns_huge_theta(self):
-        # With every distance 0 the expected count equals the pool size
-        # for any θ; the solver must bail out instead of looping.
-        theta = solve_theta([0.0] * 100, 50)
-        assert theta > 0
+    def test_all_zero_distances_raise_a_diagnostic(self):
+        """Regression: with every distance tied at 0 the expected count
+        equals the pool size for any θ — the solver used to return an
+        arbitrary huge θ (silently keeping *every* fault) instead of
+        telling the caller no calibration exists."""
+        with pytest.raises(ValueError, match="tied at 0"):
+            solve_theta([0.0] * 100, 50)
+
+    def test_all_tied_nonzero_distances_solve_in_closed_form(self):
+        """Regression: ties at z > 0 sent the bisection hunting for a
+        bracket it could only creep toward; the closed form
+        θ = z / ln(n / target) is exact."""
+        distances = [0.3] * 200
+        theta = solve_theta(distances, 50)
+        assert theta == pytest.approx(0.3 / math.log(200 / 50))
+        expected = sum(math.exp(-z / theta) for z in distances)
+        assert expected == pytest.approx(50)
+
+    def test_mixed_distances_still_bisect(self):
+        distances = [0.1 * k for k in range(1, 101)]
+        theta = solve_theta(distances, 40)
+        expected = sum(math.exp(-z / theta) for z in distances)
+        assert abs(expected - 40) < 1.0

@@ -114,8 +114,13 @@ def test_kernel_defects_seeded_and_caught():
 def test_each_defect_documents_itself(defect):
     assert defect.description
     # report-corruption defects carry `corrupt`; kernel defects carry a
-    # defective engine factory instead
-    assert callable(defect.corrupt) or callable(defect.engine_factory)
+    # defective engine factory; substrate defects (e.g. a sabotaged
+    # reordering swap) carry a reports factory instead
+    assert (
+        callable(defect.corrupt)
+        or callable(defect.engine_factory)
+        or callable(defect.reports_factory)
+    )
 
 
 def test_cli_ok_exit(capsys):
