@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-all test-parallel test-gc verify verify-full coverage bench bench-parallel bench-gc bench-obs bench-sifting experiments experiments-paper trace-demo flamegraph perf-record perf-check perf-report examples clean
+.PHONY: install test test-all test-parallel test-gc verify verify-full sampled coverage bench bench-parallel bench-gc bench-obs bench-sifting bench-sampling experiments experiments-paper trace-demo flamegraph perf-record perf-check perf-report examples clean
 
 # line-coverage floor enforced on the core engine, the verify layer and
 # the simulation engines (including the bit-parallel kernel)
@@ -27,6 +27,16 @@ verify:
 verify-full:
 	$(PYTHON) -m repro.verify --scale full
 
+# statistical mode: the sampled-conformance verify phase plus the
+# sampling test battery (fast calibration arm included; the slow
+# big-three battery runs with -m "")
+sampled:
+	REPRO_MODE=sampled $(PYTHON) -m repro.verify --scale ci
+	$(PYTHON) -m pytest tests/test_sampling_wilson.py \
+		tests/test_sampling_strata.py tests/test_sampled_campaigns.py \
+		tests/test_verify_sampled.py tests/test_sampling_calibration.py \
+		tests/test_golden_sampled.py -m "not slow"
+
 coverage:
 	@$(PYTHON) -c "import pytest_cov" 2>/dev/null || \
 		{ echo "pytest-cov is not installed; run 'pip install pytest-cov'" \
@@ -50,6 +60,9 @@ bench-obs:
 # Fast C432 arm only; add -m "" for the slow C1908 acceptance run.
 bench-sifting:
 	$(PYTHON) -m pytest benchmarks/test_bench_sifting.py --benchmark-only
+
+bench-sampling:
+	$(PYTHON) -m pytest benchmarks/test_bench_sampling.py --benchmark-only
 
 experiments:
 	$(PYTHON) -m repro.experiments --out results/

@@ -1,7 +1,16 @@
-"""Cached access to the benchmark suite, in the paper's size order."""
+"""Cached access to the benchmark suite, in the paper's size order.
+
+Besides the eight built-in benchmarks, :func:`get_circuit` accepts a
+filesystem path to an ISCAS-85 ``.bench`` netlist — the seam that lets
+sampled campaigns (:mod:`repro.sampling`) run arbitrary external
+circuits through the same campaign machinery. Paths are cached by
+resolved absolute path, so pool workers that receive the path string
+re-parse (once) instead of pickling a live circuit.
+"""
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Iterator
 
 from repro.circuit.netlist import Circuit
@@ -45,17 +54,33 @@ _NOTES: dict[str, str] = {
 _CACHE: dict[str, Circuit] = {}
 
 
+def is_bench_path(name: str) -> bool:
+    """Whether a circuit key names an external ``.bench`` file."""
+    return name.endswith(".bench")
+
+
 def get_circuit(name: str) -> Circuit:
     """Build (once) and return the named benchmark circuit.
 
-    The returned object is shared — treat it as immutable, or take a
+    ``name`` is either a built-in benchmark name or a path ending in
+    ``.bench`` (parsed by :mod:`repro.circuit.iscas`; the circuit is
+    named after the file stem). The returned object is shared — treat
+    it as immutable, or take a
     :meth:`~repro.circuit.netlist.Circuit.copy` before modifying.
     """
+    if is_bench_path(name):
+        key = str(Path(name).resolve())
+        if key not in _CACHE:
+            from repro.circuit.iscas import parse_bench_file
+
+            _CACHE[key] = parse_bench_file(key)
+        return _CACHE[key]
     try:
         builder = _BUILDERS[name]
     except KeyError:
         raise KeyError(
-            f"unknown benchmark {name!r}; known: {', '.join(CIRCUIT_NAMES)}"
+            f"unknown benchmark {name!r}; known: {', '.join(CIRCUIT_NAMES)} "
+            "(or pass a path to a .bench netlist)"
         ) from None
     if name not in _CACHE:
         _CACHE[name] = builder()

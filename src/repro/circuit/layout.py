@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from typing import Mapping
+from weakref import WeakKeyDictionary
 
 from repro.circuit.netlist import Circuit
 
@@ -44,6 +45,40 @@ def estimate_coordinates(circuit: Circuit) -> dict[str, tuple[float, float]]:
             y = default_y
         coords[gate.name] = (float(levels[gate.name]), y)
     return coords
+
+
+#: Memoized pseudo-layouts, keyed by circuit *identity* (not name —
+#: property tests build many distinct same-named circuits). WeakKey so
+#: a dropped circuit releases its coordinate table with it.
+_COORDINATE_CACHE: "WeakKeyDictionary[Circuit, dict[str, tuple[float, float]]]" = (
+    WeakKeyDictionary()
+)
+_cache_hits = 0
+_cache_misses = 0
+
+
+def cached_coordinates(circuit: Circuit) -> dict[str, tuple[float, float]]:
+    """Memoized :func:`estimate_coordinates`.
+
+    Repeat samplers over the same circuit — every bridging campaign
+    calls the distance normalizer once per dominance, per scale, per
+    stratum — hit the cache instead of re-levelizing the netlist.
+    Treat the returned mapping as read-only; it is shared.
+    """
+    global _cache_hits, _cache_misses
+    coords = _COORDINATE_CACHE.get(circuit)
+    if coords is None:
+        _cache_misses += 1
+        coords = estimate_coordinates(circuit)
+        _COORDINATE_CACHE[circuit] = coords
+    else:
+        _cache_hits += 1
+    return coords
+
+
+def coordinate_cache_stats() -> tuple[int, int]:
+    """``(hits, misses)`` of the pseudo-layout cache (process-wide)."""
+    return _cache_hits, _cache_misses
 
 
 def wire_distance(

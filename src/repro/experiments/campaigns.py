@@ -19,7 +19,7 @@ import random
 import time
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro import obs
 from repro.bdd.ordering import dfs_fanin_order
@@ -41,13 +41,24 @@ from repro.faults.stuck_at import collapsed_checkpoint_faults
 
 @dataclass(frozen=True)
 class FaultResult:
-    """One fault's scalar outcomes (safe to cache and aggregate)."""
+    """One fault's scalar outcomes (safe to cache and aggregate).
+
+    The last four fields are populated only by sampled campaigns
+    (:mod:`repro.sampling`): the Wilson confidence interval around the
+    estimated detectability, the patterns the sequential stopping rule
+    actually spent on this fault, and the stratum the fault was drawn
+    from. Exact campaigns leave them ``None``.
+    """
 
     fault: Fault
     detectability: Fraction
     upper_bound: Fraction
     observable_pos: frozenset[str]
     stuck_at_equivalent: bool | None = None  # bridging faults only
+    ci_low: float | None = None
+    ci_high: float | None = None
+    patterns_spent: int | None = None
+    stratum: str | None = None
 
     @property
     def is_detectable(self) -> bool:
@@ -56,6 +67,13 @@ class FaultResult:
     @property
     def adherence(self) -> Fraction | None:
         return adherence(self.detectability, self.upper_bound)
+
+    @property
+    def ci_width(self) -> float | None:
+        """Full CI width (``None`` on exact records)."""
+        if self.ci_low is None or self.ci_high is None:
+            return None
+        return self.ci_high - self.ci_low
 
 
 #: ChunkStat field ↔ registry metric name, for the counter-like fields
@@ -74,6 +92,8 @@ CHUNK_COUNTER_METRICS: dict[str, str] = {
     "cache_evictions": "bdd.cache.evictions",
     "words_simulated": "sim.words_simulated",
     "batches": "sim.batches",
+    "patterns_spent": "sampling.patterns_spent",
+    "sampling_rounds": "sampling.rounds",
 }
 
 #: ChunkStat field ↔ registry metric name for the peak/footprint gauges
@@ -135,6 +155,13 @@ class ChunkStat:
     words_simulated: int = 0
     batches: int = 0
     batch_size: int = 0
+    #: sampled-mode work: patterns spent (summed over the chunk's
+    #: faults) and sequential rounds run (zero on exact chunks)
+    patterns_spent: int = 0
+    sampling_rounds: int = 0
+    #: per-fault final CI widths of a sampled chunk, observed into the
+    #: ``sampling.ci_width`` histogram by :meth:`to_metrics`
+    ci_widths: tuple[float, ...] = ()
 
     @property
     def cache_hit_rate(self) -> float:
@@ -165,6 +192,8 @@ class ChunkStat:
         for name, metric in CHUNK_GAUGE_METRICS.items():
             registry.gauge(metric).set(getattr(self, name))
         registry.histogram("campaign.chunk_seconds").observe(self.seconds)
+        for width in self.ci_widths:
+            registry.histogram("sampling.ci_width").observe(width)
         return registry
 
 
@@ -174,10 +203,14 @@ class CampaignResult:
 
     circuit: Circuit
     results: tuple[FaultResult, ...]
-    exact: bool  # False when cut-point decomposition was active
+    exact: bool  # False when decomposition or sampling was active
     #: per-chunk timing / peak-node telemetry (compare=False: scheduling
     #: details must never make two otherwise-equal campaigns differ)
     chunk_stats: tuple[ChunkStat, ...] = field(default=(), compare=False)
+    #: sampled mode's stratification plan (population/allocated/sampled
+    #: per stratum); empty on exact campaigns. compare=False: the plan
+    #: is derived from the fault list, not part of result identity.
+    strata: tuple = field(default=(), compare=False)
 
     def detectabilities(self) -> list[Fraction]:
         return [r.detectability for r in self.results]
@@ -234,6 +267,14 @@ class CampaignResult:
         return self.metrics().ratio(
             "bdd.cache.hits", ("bdd.cache.hits", "bdd.cache.misses")
         )
+
+    def patterns_spent(self) -> int:
+        """Total sampled patterns spent, summed over faults and chunks."""
+        return int(self.metrics().counter_value("sampling.patterns_spent"))
+
+    def ci_width_summary(self) -> dict:
+        """Summary of the per-fault CI-width histogram (sampled mode)."""
+        return self.metrics().histogram("sampling.ci_width").summary()
 
 
 #: In-use node count that triggers incremental GC between faults —
@@ -343,29 +384,78 @@ def _resolve_engine(scale: Scale, engine: str | None) -> str:
     return resolved
 
 
+def _resolve_routing(
+    scale: Scale, engine: str | None, mode: str | None
+) -> str:
+    """The chunk-body key one campaign call routes to.
+
+    Sampled mode supersedes the engine choice — its estimator *is* an
+    engine (the bit-parallel kernel driven by the sequential sampler),
+    so ``"sampled"`` acts as the engine key for dispatch, caching and
+    telemetry. Exact mode routes to the resolved exact engine.
+    """
+    from repro.experiments.config import CAMPAIGN_MODES
+
+    resolved_mode = mode if mode is not None else scale.effective_mode()
+    if resolved_mode not in CAMPAIGN_MODES:
+        raise KeyError(
+            f"unknown campaign mode {resolved_mode!r}; "
+            f"known: {', '.join(CAMPAIGN_MODES)}"
+        )
+    if resolved_mode == "sampled":
+        return "sampled"
+    return _resolve_engine(scale, engine)
+
+
+def _attach_strata(result: CampaignResult, sample) -> CampaignResult:
+    """Label each record with its stratum and pin the sampling plan.
+
+    Runs after the serial/parallel merge, so both executors produce the
+    labels from the same :class:`~repro.sampling.strata
+    .StratifiedSample` — scheduling can never perturb them.
+    """
+    import dataclasses
+
+    labeled = tuple(
+        dataclasses.replace(record, stratum=label)
+        for record, label in zip(result.results, sample.labels)
+    )
+    return dataclasses.replace(result, results=labeled, strata=sample.plan)
+
+
 def stuck_at_campaign(
     name: str,
     scale: Scale,
     workers: int | None = None,
     engine: str | None = None,
+    mode: str | None = None,
 ) -> CampaignResult:
     """Collapsed checkpoint faults of circuit ``name`` under ``scale``.
 
-    ``workers`` overrides the scale's worker policy for this call and
-    ``engine`` its engine policy; the cache is shared between serial
-    and parallel runs because their results are identical.
+    ``workers`` overrides the scale's worker policy for this call,
+    ``engine`` its engine policy and ``mode`` its exact/sampled policy;
+    the cache is shared between serial and parallel runs because their
+    results are identical.
     """
-    engine = _resolve_engine(scale, engine)
-    key = (name, scale.name, engine)
+    routing = _resolve_routing(scale, engine, mode)
+    key = (name, scale.name, routing)
     if key in _stuck_cache:
         return _stuck_cache[key]
     circuit = get_circuit(name)
     faults: Sequence[Fault] = collapsed_checkpoint_faults(circuit)
     limit = scale.stuck_at_limit(name)
-    if limit is not None and limit < len(faults):
+    sample = None
+    if routing == "sampled":
+        from repro.sampling.strata import stratified_sample
+
+        sample = stratified_sample(circuit, faults, limit, seed=scale.seed)
+        faults = sample.faults
+    elif limit is not None and limit < len(faults):
         rng = random.Random(scale.seed)
         faults = sorted(rng.sample(list(faults), limit))
-    result = _dispatch(circuit, name, scale, faults, False, workers, engine)
+    result = _dispatch(circuit, name, scale, faults, False, workers, routing)
+    if sample is not None:
+        result = _attach_strata(result, sample)
     _stuck_cache[key] = result
     return result
 
@@ -376,27 +466,40 @@ def bridging_campaign(
     scale: Scale,
     workers: int | None = None,
     engine: str | None = None,
+    mode: str | None = None,
 ) -> CampaignResult:
     """Potentially detectable NFBFs of one dominance under ``scale``.
 
     Large circuits use the paper's distance-weighted exponential
-    sampling (seeded); small circuits use the complete set.
+    sampling (seeded); small circuits use the complete set. Sampled
+    mode draws through the stratified sampler, which applies the same
+    distance weighting inside the bridge stratum.
     """
-    engine = _resolve_engine(scale, engine)
-    key = (name, kind.value, scale.name, engine)
+    routing = _resolve_routing(scale, engine, mode)
+    key = (name, kind.value, scale.name, routing)
     if key in _bridge_cache:
         return _bridge_cache[key]
     circuit = get_circuit(name)
     candidates = list(enumerate_nfbfs(circuit, kind))
     target = scale.bridging_target(name)
-    if target is not None and target < len(candidates):
+    sample = None
+    if routing == "sampled":
+        from repro.sampling.strata import stratified_sample
+
+        sample = stratified_sample(
+            circuit, candidates, target, seed=scale.seed
+        )
+        faults: Sequence[Fault] = sample.faults
+    elif target is not None and target < len(candidates):
         sampled = sample_bridging_faults(
             circuit, candidates, target, seed=scale.seed
         )
-        faults: Sequence[Fault] = [s.fault for s in sampled]
+        faults = [s.fault for s in sampled]
     else:
         faults = candidates
-    result = _dispatch(circuit, name, scale, faults, True, workers, engine)
+    result = _dispatch(circuit, name, scale, faults, True, workers, routing)
+    if sample is not None:
+        result = _attach_strata(result, sample)
     _bridge_cache[key] = result
     return result
 
@@ -417,7 +520,10 @@ def _dispatch(
     n_workers = parallel.effective_workers(requested, circuit, len(faults))
     if engine == "bitparallel":
         # the kernel is already fault-parallel inside one process;
-        # process fan-out would only duplicate the packed good words
+        # process fan-out would only duplicate the packed good words.
+        # Sampled mode is *not* clamped: its sequential rounds leave
+        # plenty of per-shard work, and substream-seeded patterns make
+        # any sharding bit-identical.
         n_workers = 1
     with obs.span(
         "campaign.run",
@@ -637,28 +743,31 @@ def _bitparallel_chunk_body(
     return records, exact, stat
 
 
-def run_chunk_body(
+def _sampled_chunk_body(
     circuit: Circuit,
     name: str,
     scale: Scale,
     faults: Sequence[Fault],
     bridging: bool,
     index: int,
-    engine: str = "dp",
 ) -> tuple[tuple[FaultResult, ...], bool, ChunkStat]:
-    """Analyze one shard and report (records, exactness, stat).
+    """One shard estimated by the sequential sampler (lazy import so
+    the sampling package — and numpy under it — only loads when a
+    sampled campaign actually runs)."""
+    from repro.sampling.engine import sampled_chunk_body
 
-    The single implementation behind the serial path and every pool
-    worker: builds (or cache-hits) the circuit's functions, runs the
-    per-fault loop under a ``campaign.chunk`` span, and projects the
-    chunk's metrics registry onto a :class:`ChunkStat`. The
-    ``bitparallel`` engine swaps the OBDD loop for one vectorized
-    batch sweep.
-    """
-    if engine == "bitparallel":
-        return _bitparallel_chunk_body(
-            circuit, name, scale, faults, bridging, index
-        )
+    return sampled_chunk_body(circuit, name, scale, faults, bridging, index)
+
+
+def _dp_chunk_body(
+    circuit: Circuit,
+    name: str,
+    scale: Scale,
+    faults: Sequence[Fault],
+    bridging: bool,
+    index: int,
+) -> tuple[tuple[FaultResult, ...], bool, ChunkStat]:
+    """One shard on the exact OBDD Δ-propagation engine."""
     with obs.span(
         "campaign.chunk", circuit=name, index=index, faults=len(faults)
     ):
@@ -691,6 +800,45 @@ def run_chunk_body(
             registry, index=index, worker_pid=os.getpid()
         )
     return records, functions.is_exact, stat
+
+
+#: Engine-registry dispatch for chunk execution: every campaign chunk —
+#: serial or pool worker — routes through this table by engine key.
+#: ``"sampled"`` is the statistical estimator selected by
+#: ``Scale.mode``/``--mode sampled``/``$REPRO_MODE``.
+CHUNK_BODIES: dict[str, Callable[..., tuple]] = {
+    "dp": _dp_chunk_body,
+    "bitparallel": _bitparallel_chunk_body,
+    "sampled": _sampled_chunk_body,
+}
+
+
+def run_chunk_body(
+    circuit: Circuit,
+    name: str,
+    scale: Scale,
+    faults: Sequence[Fault],
+    bridging: bool,
+    index: int,
+    engine: str = "dp",
+) -> tuple[tuple[FaultResult, ...], bool, ChunkStat]:
+    """Analyze one shard and report (records, exactness, stat).
+
+    The single entry point behind the serial path and every pool
+    worker: looks the engine key up in :data:`CHUNK_BODIES` and runs
+    that body under a ``campaign.chunk`` span. ``"dp"`` builds (or
+    cache-hits) the circuit's functions and runs the per-fault OBDD
+    loop; ``"bitparallel"`` swaps it for one vectorized batch sweep;
+    ``"sampled"`` runs the sequential Monte-Carlo estimator.
+    """
+    try:
+        body = CHUNK_BODIES[engine]
+    except KeyError:
+        raise KeyError(
+            f"unknown chunk engine {engine!r}; "
+            f"known: {', '.join(CHUNK_BODIES)}"
+        ) from None
+    return body(circuit, name, scale, faults, bridging, index)
 
 
 def _run(

@@ -34,7 +34,12 @@ def main(argv: list[str] | None = None) -> int:
     import os
 
     from repro.experiments import ALL_EXPERIMENTS
-    from repro.experiments.config import CAMPAIGN_ENGINES, SCALES, get_scale
+    from repro.experiments.config import (
+        CAMPAIGN_ENGINES,
+        CAMPAIGN_MODES,
+        SCALES,
+        get_scale,
+    )
 
     obs.configure_logging()
     parser = argparse.ArgumentParser(
@@ -66,6 +71,22 @@ def main(argv: list[str] | None = None) -> int:
         choices=CAMPAIGN_ENGINES,
         default=None,
         help="fault-campaign engine (default: $REPRO_ENGINE or 'dp')",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=CAMPAIGN_MODES,
+        default=None,
+        help="campaign mode: exact closed-form analysis or sampled "
+        "Monte-Carlo estimation with confidence intervals "
+        "(default: $REPRO_MODE or 'exact')",
+    )
+    parser.add_argument(
+        "--ci-width",
+        type=float,
+        default=None,
+        metavar="W",
+        help="sampled mode's target CI half-width per fault "
+        "(default: $REPRO_CI_WIDTH or 0.05)",
     )
     parser.add_argument(
         "--reorder",
@@ -131,6 +152,16 @@ def main(argv: list[str] | None = None) -> int:
         scale = dataclasses.replace(scale, workers=args.workers)
     if args.engine is not None:
         scale = dataclasses.replace(scale, engine=args.engine)
+    if args.mode is not None:
+        scale = dataclasses.replace(scale, mode=args.mode)
+        # Propagate through the environment too: pool workers consult
+        # $REPRO_MODE when their spec's scale defers to it.
+        os.environ["REPRO_MODE"] = args.mode
+    if args.ci_width is not None:
+        if not 0.0 < args.ci_width <= 0.5:
+            parser.error(f"--ci-width {args.ci_width} outside (0, 0.5]")
+        scale = dataclasses.replace(scale, ci_width=args.ci_width)
+        os.environ["REPRO_CI_WIDTH"] = repr(args.ci_width)
     if args.reorder:
         scale = dataclasses.replace(scale, reorder=True)
         # Propagate through the environment too: pool workers build
@@ -167,6 +198,9 @@ def main(argv: list[str] | None = None) -> int:
         f"  engine: {scale.engine}" if scale.engine else "",
         "  reorder: on" if scale.effective_reorder() else "",
         "  tracing: on" if tracing else "",
+        f"  mode: sampled (ci±{scale.effective_ci_width()})"
+        if scale.effective_mode() == "sampled"
+        else "",
     )
     failures = 0
     report: list[str] = [

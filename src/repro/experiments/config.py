@@ -71,6 +71,17 @@ class Scale:
     #: quantity, only memory/runtime. ``None`` defers to the
     #: ``$REPRO_REORDER`` environment variable, then off.
     reorder: bool | None = None
+    #: campaign mode: ``"exact"`` (closed-form detectabilities, default)
+    #: or ``"sampled"`` (stratified Monte-Carlo estimation with Wilson
+    #: confidence intervals — see :mod:`repro.sampling`). ``None``
+    #: defers to ``$REPRO_MODE``, then ``"exact"``.
+    mode: str | None = None
+    #: sampled mode's target CI half-width per fault; ``None`` defers
+    #: to ``$REPRO_CI_WIDTH``, then 0.05.
+    ci_width: float | None = None
+    #: sampled mode's per-fault pattern budget; ``None`` defers to
+    #: ``$REPRO_PATTERN_BUDGET``, then 4096.
+    pattern_budget: int | None = None
 
     def stuck_at_limit(self, circuit: str) -> int | None:
         return self.stuck_at_samples.get(circuit)
@@ -102,6 +113,24 @@ class Scale:
             return self.reorder
         return env_reorder()
 
+    def effective_mode(self) -> str:
+        """Campaign mode: explicit field, else ``$REPRO_MODE``."""
+        if self.mode is not None:
+            return self.mode
+        return env_mode()
+
+    def effective_ci_width(self) -> float:
+        """Target CI half-width: explicit field, else ``$REPRO_CI_WIDTH``."""
+        if self.ci_width is not None:
+            return self.ci_width
+        return env_ci_width()
+
+    def effective_pattern_budget(self) -> int:
+        """Pattern budget: explicit field, else ``$REPRO_PATTERN_BUDGET``."""
+        if self.pattern_budget is not None:
+            return max(1, self.pattern_budget)
+        return env_pattern_budget()
+
 
 def env_workers() -> int:
     """Worker count from ``$REPRO_WORKERS`` (unset/invalid → 1, serial)."""
@@ -127,6 +156,68 @@ def env_engine() -> str:
             f"known: {', '.join(CAMPAIGN_ENGINES)}"
         )
     return raw
+
+
+#: Campaign modes the dispatch layer can route to.
+CAMPAIGN_MODES = ("exact", "sampled")
+
+#: Default target CI half-width for sampled campaigns.
+DEFAULT_CI_WIDTH = 0.05
+
+#: Default per-fault pattern budget for sampled campaigns.
+DEFAULT_PATTERN_BUDGET = 4096
+
+
+def env_mode() -> str:
+    """Campaign mode from ``$REPRO_MODE`` (unset/empty → ``"exact"``)."""
+    raw = os.environ.get("REPRO_MODE", "").strip()
+    if not raw:
+        return "exact"
+    if raw not in CAMPAIGN_MODES:
+        raise KeyError(
+            f"unknown $REPRO_MODE {raw!r}; "
+            f"known: {', '.join(CAMPAIGN_MODES)}"
+        )
+    return raw
+
+
+def env_ci_width() -> float:
+    """Target CI half-width from ``$REPRO_CI_WIDTH``.
+
+    Unset/empty falls back to :data:`DEFAULT_CI_WIDTH`; a set but
+    unparsable or out-of-range value raises rather than silently
+    running a campaign at the wrong precision.
+    """
+    raw = os.environ.get("REPRO_CI_WIDTH", "").strip()
+    if not raw:
+        return DEFAULT_CI_WIDTH
+    try:
+        width = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"$REPRO_CI_WIDTH {raw!r} is not a number"
+        ) from None
+    if not 0.0 < width <= 0.5:
+        raise ValueError(
+            f"$REPRO_CI_WIDTH {width} outside (0, 0.5]"
+        )
+    return width
+
+
+def env_pattern_budget() -> int:
+    """Pattern budget from ``$REPRO_PATTERN_BUDGET`` (invalid raises)."""
+    raw = os.environ.get("REPRO_PATTERN_BUDGET", "").strip()
+    if not raw:
+        return DEFAULT_PATTERN_BUDGET
+    try:
+        budget = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"$REPRO_PATTERN_BUDGET {raw!r} is not an integer"
+        ) from None
+    if budget < 1:
+        raise ValueError(f"$REPRO_PATTERN_BUDGET {budget} must be positive")
+    return budget
 
 
 SCALES: dict[str, Scale] = {

@@ -33,7 +33,7 @@ import random
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.circuit.layout import estimate_coordinates, wire_distance
+from repro.circuit.layout import cached_coordinates, wire_distance
 from repro.circuit.netlist import Circuit
 from repro.faults.bridging import BridgingFault
 
@@ -49,8 +49,14 @@ class SampledFault:
 def normalized_distances(
     circuit: Circuit, candidates: Sequence[BridgingFault]
 ) -> list[float]:
-    """Pseudo-layout wire distance of each candidate, scaled to [0, 1]."""
-    coords = estimate_coordinates(circuit)
+    """Pseudo-layout wire distance of each candidate, scaled to [0, 1].
+
+    Coordinates come from the per-circuit memo
+    (:func:`~repro.circuit.layout.cached_coordinates`): repeat
+    invocations over the same circuit — one per dominance × scale ×
+    stratum in a campaign — no longer re-run the estimator.
+    """
+    coords = cached_coordinates(circuit)
     raw = [wire_distance(coords, f.net_a, f.net_b) for f in candidates]
     largest = max(raw, default=0.0)
     if largest == 0.0:

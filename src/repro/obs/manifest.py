@@ -34,6 +34,9 @@ _RECORDED_ENV = (
     "REPRO_WORKERS",
     "REPRO_ENGINE",
     "REPRO_REORDER",
+    "REPRO_MODE",
+    "REPRO_CI_WIDTH",
+    "REPRO_PATTERN_BUDGET",
     "REPRO_TRACE",
     "REPRO_LOG",
     "REPRO_PROGRESS",
@@ -98,6 +101,12 @@ class RunManifest:
     #: effective dynamic-reordering policy after ``Scale.reorder``/
     #: ``$REPRO_REORDER`` resolution (``None`` when no context applies)
     reorder: bool | None = None
+    #: effective campaign mode after ``Scale.mode``/``$REPRO_MODE``
+    #: resolution (``None`` when no scale/mode context applies)
+    mode: str | None = None
+    #: sampled mode's effective target CI half-width (``None`` outside
+    #: sampled-mode context)
+    ci_width: float | None = None
 
     @classmethod
     def collect(
@@ -110,6 +119,8 @@ class RunManifest:
         extra: Mapping[str, Any] | None = None,
         engine: str | None = None,
         reorder: bool | None = None,
+        mode: str | None = None,
+        ci_width: float | None = None,
     ) -> "RunManifest":
         """Snapshot the current process (pass the run's ``Scale`` if any).
 
@@ -140,6 +151,22 @@ class RunManifest:
                     "no",
                     "off",
                 )
+        if mode is None:
+            resolve = getattr(scale, "effective_mode", None)
+            if callable(resolve):
+                mode = resolve()
+            else:
+                mode = os.environ.get("REPRO_MODE", "").strip() or None
+        if ci_width is None and mode == "sampled":
+            resolve = getattr(scale, "effective_ci_width", None)
+            if callable(resolve):
+                ci_width = resolve()
+            else:
+                raw = os.environ.get("REPRO_CI_WIDTH", "").strip()
+                try:
+                    ci_width = float(raw) if raw else None
+                except ValueError:
+                    ci_width = None
         seed = getattr(scale, "seed", None)
         if seed is None:
             try:
@@ -173,6 +200,8 @@ class RunManifest:
             numpy=numpy_version(),
             engine=engine,
             reorder=reorder,
+            mode=mode,
+            ci_width=ci_width,
         )
 
     def to_dict(self) -> dict[str, Any]:

@@ -1,0 +1,42 @@
+"""Statistical sampling campaigns (the beyond-exact estimation mode).
+
+When exact analysis is infeasible — circuits past the OBDD frontier,
+arbitrary user ``.bench`` netlists — this package estimates per-fault
+detectability with honest uncertainty: stratified fault sampling
+(:mod:`~repro.sampling.strata`), seeded Monte-Carlo pattern rounds on
+the bit-parallel kernel with Wilson score intervals and a sequential
+stopping rule (:mod:`~repro.sampling.engine`), and deterministic RNG
+substreams (:mod:`~repro.sampling.substreams`) that keep every result
+bit-identical under any parallel sharding.
+
+Selected as a first-class campaign mode via ``Scale.mode``,
+``--mode sampled`` or ``$REPRO_MODE=sampled``; see ``docs/sampling.md``
+for the estimator math and when to trust sampled vs exact numbers.
+"""
+
+from repro.sampling.engine import (
+    SampledCampaignEngine,
+    SampledSettings,
+    sampled_chunk_body,
+)
+from repro.sampling.strata import (
+    StratifiedSample,
+    StratumStat,
+    stratified_sample,
+    stratum_key,
+)
+from repro.sampling.substreams import substream_seed
+from repro.sampling.wilson import WilsonInterval, wilson_interval
+
+__all__ = [
+    "SampledCampaignEngine",
+    "SampledSettings",
+    "StratifiedSample",
+    "StratumStat",
+    "WilsonInterval",
+    "sampled_chunk_body",
+    "stratified_sample",
+    "stratum_key",
+    "substream_seed",
+    "wilson_interval",
+]

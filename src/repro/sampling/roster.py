@@ -1,0 +1,61 @@
+"""Campaign rosters mixing built-in benchmarks and external ``.bench``.
+
+The exact experiments are pinned to the paper's eight circuits, but
+the sampled mode exists precisely for circuits the exact route cannot
+touch — so its workload roster accepts any mix of built-in benchmark
+names and filesystem paths to ISCAS-85 ``.bench`` netlists (parsed by
+:mod:`repro.circuit.iscas` via the benchmark registry, which caches
+paths like names). Workers re-resolve roster entries by string, so a
+``.bench`` entry shards across processes exactly like a built-in.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.benchcircuits import get_circuit
+from repro.benchcircuits.registry import CIRCUIT_NAMES, is_bench_path
+
+
+def resolve_roster(entries: Sequence[str]) -> list[str]:
+    """Validate roster entries and return their canonical keys.
+
+    Built-in names pass through; ``.bench`` paths are resolved to
+    absolute paths (the registry's cache key) and must exist. Raises
+    ``KeyError``/``FileNotFoundError`` on the first bad entry, naming
+    it.
+    """
+    roster: list[str] = []
+    for entry in entries:
+        if is_bench_path(entry):
+            path = Path(entry)
+            if not path.is_file():
+                raise FileNotFoundError(
+                    f"roster entry {entry!r}: no such .bench file"
+                )
+            roster.append(str(path.resolve()))
+        elif entry in CIRCUIT_NAMES:
+            roster.append(entry)
+        else:
+            raise KeyError(
+                f"roster entry {entry!r} is neither a built-in benchmark "
+                f"({', '.join(CIRCUIT_NAMES)}) nor a .bench path"
+            )
+    return roster
+
+
+def roster_display_name(entry: str) -> str:
+    """Short human name for a roster entry (file stem for paths)."""
+    return Path(entry).stem if is_bench_path(entry) else entry
+
+
+def roster_sizes(entries: Sequence[str]) -> list[tuple[str, int, int]]:
+    """``(display name, inputs, netlist size)`` per resolved entry."""
+    out = []
+    for entry in resolve_roster(entries):
+        circuit = get_circuit(entry)
+        out.append(
+            (roster_display_name(entry), circuit.num_inputs, circuit.netlist_size)
+        )
+    return out

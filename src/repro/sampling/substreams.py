@@ -1,0 +1,41 @@
+"""Deterministic RNG substream derivation for sampled campaigns.
+
+Every random choice a sampled campaign makes — which faults a stratum
+contributes, which patterns a round draws — must be reproducible from
+the single master seed *and* independent of how the campaign was
+scheduled. Seeding each consumer with ``master + offset`` arithmetic is
+fragile (offsets collide as consumers are added); instead every
+consumer derives its seed by hashing the master seed together with a
+structured label path::
+
+    substream_seed(seed, "patterns", "c432", 3)   # round 3's vectors
+    substream_seed(seed, "stratum", "c432", "stuck-stem/fo1")
+
+SHA-256 makes the derivation stable across platforms and Python
+versions (``hash()`` is salted; ``random.Random`` state depends on
+draw order), and labeling by *logical* coordinates — circuit, round,
+stratum, never shard index or worker id — is what makes sampled
+campaigns bit-identical under any sharding: every shard that needs
+round 3's patterns derives the same seed and therefore draws the same
+words, so a fault's tally depends only on its own resolution
+trajectory. ``tests/test_sampled_campaigns.py`` pins this invariance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Seeds are truncated to 63 bits so they stay non-negative and inside
+#: the range every stdlib/numpy RNG accepts as a scalar seed.
+_SEED_BITS = 63
+
+
+def substream_seed(master: int, *labels: object) -> int:
+    """A stable derived seed for the substream named by ``labels``.
+
+    Deterministic in ``(master, labels)``; distinct label paths give
+    (cryptographically) independent streams.
+    """
+    text = "\x1f".join([str(int(master)), *(str(part) for part in labels)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> (64 - _SEED_BITS)

@@ -1,0 +1,98 @@
+"""Wilson score confidence intervals for binomial detectability.
+
+A sampled campaign observes ``k`` detections in ``n`` random patterns
+and must report an honest interval for the true detectability ``p``.
+The Wilson score interval is the standard choice for this regime: it
+is derived by inverting the normal approximation to the score test,
+
+.. math::
+
+    \\frac{\\hat p + z^2/2n \\pm
+           z\\sqrt{\\hat p(1-\\hat p)/n + z^2/4n^2}}{1 + z^2/n}
+
+and — unlike the Wald interval — never escapes ``[0, 1]``, degrades
+gracefully at ``k = 0`` and ``k = n`` (the endpoints pin to exactly 0
+and 1), and keeps near-nominal coverage at small ``n`` and extreme
+``p``, both of which sampled fault campaigns hit constantly (most
+faults are either very hard or very easy to detect).
+
+``tests/test_sampling_wilson.py`` pins the properties the stopping
+rule relies on: the interval always contains ``p̂``, its width shrinks
+monotonically in ``n`` for fixed ``p̂``, and the 0/n and n/n edges are
+exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import NormalDist
+
+
+@dataclass(frozen=True)
+class WilsonInterval:
+    """One binomial estimate with its score-interval bounds."""
+
+    successes: int
+    trials: int
+    confidence: float
+    low: float
+    high: float
+
+    @property
+    def estimate(self) -> float:
+        """The point estimate ``p̂ = k/n`` (0 when nothing was drawn)."""
+        return self.successes / self.trials if self.trials else 0.0
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    @property
+    def half_width(self) -> float:
+        return self.width / 2.0
+
+    def contains(self, p: float) -> bool:
+        return self.low <= p <= self.high
+
+
+def z_score(confidence: float) -> float:
+    """Two-sided standard-normal critical value for ``confidence``."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence {confidence} outside (0, 1)")
+    return NormalDist().inv_cdf((1.0 + confidence) / 2.0)
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> WilsonInterval:
+    """The Wilson score interval for ``successes`` out of ``trials``.
+
+    ``trials = 0`` returns the vacuous ``[0, 1]`` interval (nothing has
+    been learned yet); ``successes`` outside ``[0, trials]`` raises.
+    """
+    if trials < 0:
+        raise ValueError(f"trials {trials} is negative")
+    if not 0 <= successes <= max(trials, 0):
+        raise ValueError(
+            f"successes {successes} outside [0, trials={trials}]"
+        )
+    z = z_score(confidence)
+    if trials == 0:
+        return WilsonInterval(0, 0, confidence, 0.0, 1.0)
+    n = float(trials)
+    p_hat = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    center = (p_hat + z2 / (2.0 * n)) / denom
+    half = (
+        z * ((p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)) ** 0.5)
+    ) / denom
+    low = max(0.0, center - half)
+    high = min(1.0, center + half)
+    # The endpoints are exact in the algebra (the radical collapses to
+    # z²/4n²); pin them so 0/n and n/n never float-wobble off 0 and 1.
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return WilsonInterval(successes, trials, confidence, low, high)

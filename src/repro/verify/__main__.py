@@ -9,12 +9,19 @@ Three phases, any failure turning the exit code nonzero:
 3. **seeded** — the defect-seeding self-check proving the oracles
    would have caught a defective engine.
 
+With ``--mode sampled`` (or ``$REPRO_MODE=sampled``) a fourth phase
+runs: **sampled conformance**, the consistency-oracle battery of
+:mod:`repro.verify.sampled` over sampled campaigns on the sweep's
+circuits (interval well-formedness, Wilson reproducibility, the
+sequential stopping rule, stratum coverage).
+
 Examples::
 
     python -m repro.verify                      # ci sweep, all phases
     python -m repro.verify --scale full
     python -m repro.verify --circuits c17 c95 --skip-seeded
     python -m repro.verify --engines dp truthtable
+    REPRO_MODE=sampled python -m repro.verify --scale ci
 """
 
 from __future__ import annotations
@@ -68,6 +75,13 @@ def main(argv: list[str] | None = None) -> int:
         help="restrict the metamorphic phase to these transforms",
     )
     parser.add_argument(
+        "--mode",
+        choices=("exact", "sampled"),
+        default=None,
+        help="campaign mode: 'sampled' adds the sampled-conformance "
+        "phase (default: $REPRO_MODE or 'exact')",
+    )
+    parser.add_argument(
         "--skip-conformance", action="store_true", help="skip phase 1"
     )
     parser.add_argument(
@@ -77,6 +91,12 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-seeded", action="store_true", help="skip phase 3"
     )
     args = parser.parse_args(argv)
+
+    mode = args.mode
+    if mode is None:
+        mode = os.environ.get("REPRO_MODE", "").strip() or "exact"
+    if mode not in ("exact", "sampled"):
+        parser.error(f"unknown mode {mode!r}; known: exact, sampled")
 
     engines = args.engines
     if engines is None:
@@ -109,6 +129,16 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(seeded.render())
         failed |= not seeded.ok
+    if mode == "sampled":
+        from repro.verify.sampled import run_sampled_conformance
+
+        sweep = SWEEPS[args.scale]
+        sampled = run_sampled_conformance(
+            circuits=args.circuits or sweep.circuits
+        )
+        print()
+        print(sampled.render())
+        failed |= not sampled.ok
     print()
     print("repro.verify: FAILED" if failed else "repro.verify: OK")
     return 1 if failed else 0

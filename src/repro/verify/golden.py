@@ -33,6 +33,19 @@ The generator computes every record with the Difference Propagation
 reference engine and refuses to write a fixture the truth-table engine
 disagrees with, so a regeneration can never launder a single-engine
 bug into the committed truth.
+
+Sampled fixtures
+----------------
+``python -m repro.verify.golden --mode sampled`` writes the sampled
+twins (``{circuit}_{model}_sampled.json``, schema
+``repro.golden-sampled/1``): the same canonical fault sets estimated
+by the sequential sampler under pinned default settings (seed 0).
+Because the sampler is fully deterministic under a pinned seed, these
+pin the *byte-exact* estimates, intervals and patterns spent — any
+drift in the RNG substream discipline, the Wilson algebra or the
+stopping rule fails ``tests/test_golden_sampled.py`` with the fault
+named. The generator refuses to write a record the sampled consistency
+oracles (:mod:`repro.verify.sampled`) reject.
 """
 
 from __future__ import annotations
@@ -50,6 +63,7 @@ from repro.faults.lines import Line
 from repro.faults.stuck_at import StuckAtFault, collapsed_checkpoint_faults
 
 SCHEMA = "repro.golden-detectability/1"
+SAMPLED_SCHEMA = "repro.golden-sampled/1"
 
 #: Circuits with committed fixtures, in size order.
 GOLDEN_CIRCUITS = ("c17", "fulladder", "c95", "alu181")
@@ -211,6 +225,87 @@ def load_fixture(path: Path) -> dict:
     return document
 
 
+# ----------------------------------------------------------------------
+# Sampled fixtures
+# ----------------------------------------------------------------------
+def sampled_golden_path(
+    circuit_name: str, model: str, directory: Path | None = None
+) -> Path:
+    return (directory or GOLDEN_DIR) / f"{circuit_name}_{model}_sampled.json"
+
+
+def generate_sampled_fixture(circuit_name: str, model: str) -> dict:
+    """One sampled fixture: the canonical fault set, estimated under
+    pinned default settings with seed 0.
+
+    Every record passes the sampled consistency oracles before it is
+    written, so a broken stopping rule or interval algebra can never be
+    committed as the expected behavior.
+    """
+    from repro.sampling.engine import SampledCampaignEngine, SampledSettings
+    from repro.sampling.strata import stratum_key
+    from repro.verify.sampled import sampled_record_violations
+
+    circuit = get_circuit(circuit_name)
+    faults = golden_faults(circuit_name, model)
+    settings = SampledSettings(seed=0)
+    engine = SampledCampaignEngine(circuit, circuit_name, settings)
+    records = []
+    for fault, result in zip(faults, engine.run(faults)):
+        violations = sampled_record_violations(circuit, result, settings)
+        if violations:
+            raise ValueError(
+                f"{circuit_name}/{model}: sampled record for {fault} "
+                f"fails its own oracles — refusing to write fixture: "
+                + "; ".join(str(v) for v in violations)
+            )
+        records.append(
+            {
+                "fault": fault_to_dict(fault),
+                "label": str(fault),
+                "stratum": stratum_key(circuit, fault),
+                "detectability": str(result.detectability),
+                "ci_low": result.ci_low,
+                "ci_high": result.ci_high,
+                "patterns_spent": result.patterns_spent,
+            }
+        )
+    return {
+        "schema": SAMPLED_SCHEMA,
+        "circuit": circuit_name,
+        "model": model,
+        "generator": "sampled",
+        "settings": {
+            "seed": settings.seed,
+            "ci_width": settings.ci_width,
+            "confidence": settings.confidence,
+            "pattern_budget": settings.pattern_budget,
+            "initial_patterns": settings.initial_patterns,
+        },
+        "faults": records,
+    }
+
+
+def write_sampled_fixture(
+    circuit_name: str, model: str, directory: Path | None = None
+) -> Path:
+    path = sampled_golden_path(circuit_name, model, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = generate_sampled_fixture(circuit_name, model)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_sampled_fixture(path: Path) -> dict:
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if document.get("schema") != SAMPLED_SCHEMA:
+        raise ValueError(f"{path}: unknown schema {document.get('schema')!r}")
+    return document
+
+
 def main(argv: list[str] | None = None) -> int:
     import argparse
 
@@ -224,11 +319,23 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help=f"output directory (default: {GOLDEN_DIR})",
     )
+    parser.add_argument(
+        "--mode",
+        choices=("exact", "sampled"),
+        default="exact",
+        help="which fixture family to regenerate (default: exact)",
+    )
     args = parser.parse_args(argv)
     for circuit_name in GOLDEN_CIRCUITS:
         for model in GOLDEN_MODELS:
-            path = write_fixture(circuit_name, model, args.directory)
-            document = load_fixture(path)
+            if args.mode == "sampled":
+                path = write_sampled_fixture(
+                    circuit_name, model, args.directory
+                )
+                document = load_sampled_fixture(path)
+            else:
+                path = write_fixture(circuit_name, model, args.directory)
+                document = load_fixture(path)
             print(f"{path}: {len(document['faults'])} faults")
     return 0
 

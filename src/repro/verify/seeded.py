@@ -58,7 +58,11 @@ class SeededDefect:
     supply ``engine_factory`` — a constructor for a deliberately
     defective simulator whose reports then face the oracle battery;
     substrate-level defects supply ``reports_factory`` — a function
-    producing DP reports off a deliberately corrupted OBDD manager.
+    producing DP reports off a deliberately corrupted OBDD manager;
+    sampling-level defects supply ``violations_factory`` — a function
+    that seeds the defect into a sampled campaign and returns whatever
+    the sampled oracle battery (:mod:`repro.verify.sampled`) found, so
+    the defect is caught exactly when that list is nonempty.
     """
 
     name: str
@@ -67,6 +71,9 @@ class SeededDefect:
     engine_factory: Callable[[Circuit], object] | None = None
     reports_factory: (
         Callable[[Circuit, Sequence], list[FaultReport]] | None
+    ) = None
+    violations_factory: (
+        Callable[[Circuit, Sequence], list[Violation]] | None
     ) = None
 
 
@@ -234,6 +241,77 @@ def _corrupted_reorder_reports(circuit: Circuit, faults) -> list:
     return ENGINES["dp"].run(circuit, faults, functions)
 
 
+def _biased_stratum_violations(
+    circuit: Circuit, faults: Sequence
+) -> list[Violation]:
+    """Sampler defect: one stratum silently dropped after allocation.
+
+    The plan still claims the stratum was sampled, but none of its
+    faults reach the estimator — the classic silent-bias failure a
+    uniform random sampler cannot even express. Only the
+    stratum-coverage oracle sees it: every per-record invariant holds,
+    because each surviving record is individually honest.
+    """
+    import dataclasses
+
+    from repro.experiments.campaigns import CampaignResult
+    from repro.sampling.engine import SampledCampaignEngine, SampledSettings
+    from repro.sampling.strata import stratified_sample
+    from repro.verify.sampled import check_sampled_campaign
+
+    sample = stratified_sample(circuit, list(faults), None)
+    dropped = sample.plan[0].name
+    survivors = [
+        (fault, label)
+        for fault, label in zip(sample.faults, sample.labels)
+        if label != dropped
+    ]
+    if len(survivors) == len(sample.faults):
+        raise ValueError(
+            f"stratum {dropped!r} held no faults; defect not seeded"
+        )
+    settings = SampledSettings()
+    engine = SampledCampaignEngine(circuit, circuit.name, settings)
+    records = engine.run([fault for fault, _ in survivors])
+    records = tuple(
+        dataclasses.replace(record, stratum=label)
+        for record, (_, label) in zip(records, survivors)
+    )
+    campaign = CampaignResult(
+        circuit=circuit, results=records, exact=False, strata=sample.plan
+    )
+    return check_sampled_campaign(campaign, settings)
+
+
+def _off_by_one_budget_violations(
+    circuit: Circuit, faults: Sequence
+) -> list[Violation]:
+    """Accounting defect: every fault reports one pattern too many.
+
+    ``detectability`` stays ``k/n`` while ``patterns_spent`` becomes
+    ``n + 1``, so the reported tally no longer reproduces the reported
+    interval — the ci-consistency oracle sees a non-integral (or
+    re-derived-wrong) detection count, and the stopping-rule oracle
+    sees a tally off every legal round boundary.
+    """
+    from repro.experiments.campaigns import CampaignResult
+    from repro.sampling.engine import SampledCampaignEngine, SampledSettings
+    from repro.verify.sampled import check_sampled_campaign
+
+    settings = SampledSettings()
+
+    class _OffByOneBudget(SampledCampaignEngine):
+        def _spent(self, trials: int) -> int:
+            return trials + 1
+
+    engine = _OffByOneBudget(circuit, circuit.name, settings)
+    records = engine.run(list(faults))
+    campaign = CampaignResult(
+        circuit=circuit, results=records, exact=False
+    )
+    return check_sampled_campaign(campaign, settings)
+
+
 DEFECTS: tuple[SeededDefect, ...] = (
     SeededDefect(
         "flip-detection-bit",
@@ -285,6 +363,16 @@ try:  # kernel defects ride along with the numpy-gated engine
             "off-by-one-batch-slicing",
             "each fault batch starts one fault late, dropping work",
             engine_factory=_off_by_one_batches_sim,
+        ),
+        SeededDefect(
+            "biased-stratum-sampler",
+            "one stratum silently dropped from the sampled campaign",
+            violations_factory=_biased_stratum_violations,
+        ),
+        SeededDefect(
+            "off-by-one-pattern-budget",
+            "patterns_spent reported one high, off every round boundary",
+            violations_factory=_off_by_one_budget_violations,
         ),
     )
 except ImportError:  # pragma: no cover - exercised only without numpy
@@ -401,7 +489,9 @@ def run_seeded_self_check(
     )
     outcomes: list[DefectOutcome] = []
     for defect in defects:
-        if defect.reports_factory is not None:
+        if defect.violations_factory is not None:
+            violations = defect.violations_factory(circuit, faults)
+        elif defect.reports_factory is not None:
             corrupted = defect.reports_factory(circuit, faults)
             if corrupted == honest_dp:
                 raise ValueError(

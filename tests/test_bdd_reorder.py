@@ -279,7 +279,13 @@ class TestEngineReorder:
 
     @pytest.mark.parametrize(
         "path",
-        sorted(GOLDEN_DIR.glob("*.json")),
+        # exact fixtures only: the *_sampled.json twins never touch the
+        # OBDD path, so reorder invariance does not apply to them
+        sorted(
+            p
+            for p in GOLDEN_DIR.glob("*.json")
+            if not p.stem.endswith("_sampled")
+        ),
         ids=lambda p: p.stem,
     )
     def test_golden_fixtures_bit_identical_under_reorder(

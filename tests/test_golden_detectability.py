@@ -28,7 +28,11 @@ from repro.verify import golden
 from repro.verify.conformance import ENGINES
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
-FIXTURES = sorted(GOLDEN_DIR.glob("*.json"))
+# exact fixtures only — the *_sampled.json twins have their own loader,
+# schema and test module (tests/test_golden_sampled.py)
+FIXTURES = sorted(
+    p for p in GOLDEN_DIR.glob("*.json") if not p.stem.endswith("_sampled")
+)
 
 _functions_cache: dict[str, CircuitFunctions] = {}
 

@@ -1,0 +1,70 @@
+"""Golden sampled fixtures: byte-exact regression of the estimator.
+
+The sampler is fully deterministic under a pinned seed, so the
+committed ``tests/golden/*_sampled.json`` fixtures pin its *exact*
+output — estimates, interval bounds, patterns spent, stratum labels.
+Any drift in the substream derivation, the Wilson algebra, the
+stopping rule or the stratifier regenerates differently and fails
+here with the circuit and fault named.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.verify.golden import (
+    GOLDEN_CIRCUITS,
+    GOLDEN_DIR,
+    GOLDEN_MODELS,
+    SAMPLED_SCHEMA,
+    generate_sampled_fixture,
+    load_sampled_fixture,
+    sampled_golden_path,
+)
+
+FIXTURES = [
+    (circuit, model)
+    for circuit in GOLDEN_CIRCUITS
+    for model in GOLDEN_MODELS
+]
+
+
+@pytest.mark.parametrize(
+    "circuit,model", FIXTURES, ids=[f"{c}-{m}" for c, m in FIXTURES]
+)
+def test_fixture_exists_and_regenerates_verbatim(circuit, model):
+    path = sampled_golden_path(circuit, model)
+    assert path.is_file(), f"missing committed fixture {path}"
+    committed = load_sampled_fixture(path)
+    assert committed["schema"] == SAMPLED_SCHEMA
+    regenerated = generate_sampled_fixture(circuit, model)
+    assert regenerated == committed
+
+
+def test_fixture_records_carry_the_sampled_shape():
+    document = load_sampled_fixture(sampled_golden_path("c17", "stuck-at"))
+    assert document["settings"]["seed"] == 0
+    assert document["settings"]["confidence"] == 0.95
+    for record in document["faults"]:
+        assert {"fault", "label", "stratum", "detectability"} <= set(record)
+        assert 0.0 <= record["ci_low"] <= record["ci_high"] <= 1.0
+        assert record["patterns_spent"] >= 1
+
+
+def test_loader_rejects_foreign_schemas(tmp_path):
+    bogus = tmp_path / "bogus_sampled.json"
+    bogus.write_text(json.dumps({"schema": "other/1"}), encoding="utf-8")
+    with pytest.raises(ValueError, match="unknown schema"):
+        load_sampled_fixture(bogus)
+
+
+def test_every_committed_sampled_fixture_is_parametrized():
+    committed = set(GOLDEN_DIR.glob("*_sampled.json"))
+    expected = {
+        sampled_golden_path(circuit, model) for circuit, model in FIXTURES
+    }
+    assert committed == expected

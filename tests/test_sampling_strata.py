@@ -1,0 +1,198 @@
+"""Stratified fault sampling: allocation, partition and determinism.
+
+The stratified sampler is what makes sampled campaigns representative:
+largest-remainder allocation must sum exactly to the target without
+silently dropping a stratum, and every draw must be a pure function of
+``(circuit, faults, target, seed)`` so sharding and scheduling can
+never perturb the sample.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.benchcircuits import get_circuit
+from repro.circuit.layout import cached_coordinates, coordinate_cache_stats
+from repro.faults.bridging import BridgeKind, enumerate_nfbfs
+from repro.faults.stuck_at import collapsed_checkpoint_faults
+from repro.sampling.strata import (
+    allocate_proportional,
+    fanout_bucket,
+    stratified_sample,
+    stratify,
+    stratum_key,
+)
+from repro.sampling.substreams import substream_seed
+
+POPULATIONS = st.dictionaries(
+    st.sampled_from([f"s{i}" for i in range(8)]),
+    st.integers(min_value=0, max_value=200),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestAllocation:
+    @given(POPULATIONS, st.integers(min_value=0, max_value=500))
+    def test_sums_to_target_capped_by_population(self, populations, target):
+        allocation = allocate_proportional(populations, target)
+        total = sum(populations.values())
+        assert sum(allocation.values()) == min(target, total)
+
+    @given(POPULATIONS, st.integers(min_value=0, max_value=500))
+    def test_never_exceeds_any_population(self, populations, target):
+        allocation = allocate_proportional(populations, target)
+        for name, quota in allocation.items():
+            assert 0 <= quota <= populations[name]
+
+    @given(POPULATIONS, st.integers(min_value=0, max_value=500))
+    def test_nonempty_strata_get_at_least_one(self, populations, target):
+        """No stratum is silently dropped while the target affords one
+        draw per nonempty stratum — the exact bias the seeded
+        ``biased-stratum-sampler`` defect reintroduces on purpose."""
+        allocation = allocate_proportional(populations, target)
+        nonempty = [n for n, p in populations.items() if p > 0]
+        if target >= len(nonempty):
+            for name in nonempty:
+                assert allocation[name] >= 1
+
+    def test_proportionality_on_a_round_case(self):
+        allocation = allocate_proportional(
+            {"a": 60, "b": 30, "c": 10}, 10
+        )
+        assert allocation == {"a": 6, "b": 3, "c": 1}
+
+
+class TestStratumKeys:
+    def test_fanout_buckets(self):
+        assert fanout_bucket(0) == "1"
+        assert fanout_bucket(1) == "1"
+        assert fanout_bucket(2) == "2-3"
+        assert fanout_bucket(3) == "2-3"
+        assert fanout_bucket(4) == "4+"
+        assert fanout_bucket(40) == "4+"
+
+    def test_stuck_and_bridge_keys_on_c17(self):
+        circuit = get_circuit("c17")
+        faults = collapsed_checkpoint_faults(circuit)
+        keys = {stratum_key(circuit, fault) for fault in faults}
+        assert keys <= {
+            f"stuck-{kind}/fo{bucket}"
+            for kind in ("stem", "branch")
+            for bucket in ("1", "2-3", "4+")
+        }
+        assert any(key.startswith("stuck-stem/") for key in keys)
+        assert any(key.startswith("stuck-branch/") for key in keys)
+        bridge = next(iter(enumerate_nfbfs(circuit, BridgeKind.AND)))
+        assert stratum_key(circuit, bridge) == "bridge-and"
+
+    def test_stratify_partitions_preserving_order(self):
+        circuit = get_circuit("c17")
+        faults = collapsed_checkpoint_faults(circuit)
+        strata = stratify(circuit, faults)
+        flattened = [f for members in strata.values() for f in members]
+        assert sorted(map(str, flattened)) == sorted(map(str, faults))
+        for name, members in strata.items():
+            indices = [faults.index(f) for f in members]
+            assert indices == sorted(indices)
+            assert all(stratum_key(circuit, f) == name for f in members)
+
+
+class TestStratifiedSample:
+    def test_deterministic_in_seed(self):
+        circuit = get_circuit("c95")
+        faults = collapsed_checkpoint_faults(circuit)
+        first = stratified_sample(circuit, faults, 20, seed=7)
+        second = stratified_sample(circuit, faults, 20, seed=7)
+        assert first == second
+
+    def test_respects_enumeration_order(self):
+        circuit = get_circuit("c95")
+        faults = collapsed_checkpoint_faults(circuit)
+        sample = stratified_sample(circuit, faults, 20, seed=0)
+        indices = [faults.index(f) for f in sample.faults]
+        assert indices == sorted(indices)
+
+    def test_labels_align_and_match_plan(self):
+        circuit = get_circuit("c95")
+        faults = collapsed_checkpoint_faults(circuit)
+        sample = stratified_sample(circuit, faults, 20, seed=0)
+        assert len(sample.faults) == len(sample.labels) == 20
+        for fault, label in zip(sample.faults, sample.labels):
+            assert stratum_key(circuit, fault) == label
+        realized = Counter(sample.labels)
+        for stat in sample.plan:
+            assert realized.get(stat.name, 0) == stat.sampled
+            assert stat.sampled == stat.allocated
+
+    def test_none_target_takes_everything(self):
+        circuit = get_circuit("c17")
+        faults = collapsed_checkpoint_faults(circuit)
+        sample = stratified_sample(circuit, faults, None)
+        assert list(sample.faults) == list(faults)
+
+    def test_bridge_strata_use_distance_weighted_draws(self):
+        circuit = get_circuit("c95")
+        candidates = list(enumerate_nfbfs(circuit, BridgeKind.AND))
+        sample = stratified_sample(circuit, candidates, 10, seed=0)
+        assert len(sample.faults) == 10
+        assert set(sample.labels) == {"bridge-and"}
+
+
+class TestSubstreams:
+    def test_pinned_value(self):
+        """The derivation is part of the reproducibility contract: any
+        change to it silently invalidates every committed sampled
+        fixture, so the exact value is pinned here."""
+        assert substream_seed(0, "patterns", "c17", 0) == 2846000845959267508
+
+    def test_deterministic_and_label_sensitive(self):
+        base = substream_seed(3, "patterns", "c432", 1)
+        assert substream_seed(3, "patterns", "c432", 1) == base
+        assert substream_seed(4, "patterns", "c432", 1) != base
+        assert substream_seed(3, "patterns", "c432", 2) != base
+        assert substream_seed(3, "stratum", "c432", 1) != base
+
+    @given(
+        st.integers(min_value=0, max_value=2**63 - 1),
+        st.lists(st.text(max_size=8), max_size=4),
+    )
+    def test_stays_in_the_63_bit_seed_range(self, master, labels):
+        seed = substream_seed(master, *labels)
+        assert 0 <= seed < 2**63
+
+
+class TestCoordinateCache:
+    def test_repeat_sampling_hits_the_memoized_layout(self):
+        """Regression for the ``estimate_coordinates`` memoization: two
+        bridge draws over the same circuit object must pay the
+        levelization once and hit the cache on the second pass."""
+        circuit = get_circuit("c95")
+        candidates = list(enumerate_nfbfs(circuit, BridgeKind.AND))
+        cached_coordinates(circuit)  # ensure the entry exists
+        hits_before, misses_before = coordinate_cache_stats()
+        first = stratified_sample(circuit, candidates, 8, seed=1)
+        second = stratified_sample(circuit, candidates, 8, seed=1)
+        hits_after, misses_after = coordinate_cache_stats()
+        assert first == second
+        assert hits_after >= hits_before + 2
+        assert misses_after == misses_before
+
+    def test_identity_keyed_not_name_keyed(self):
+        from repro.circuit import CircuitBuilder
+
+        def build():
+            b = CircuitBuilder("twin")
+            x, y = b.inputs("x", "y")
+            b.output(b.and_(x, y, name="z"))
+            return b.build()
+
+        one, two = build(), build()
+        assert cached_coordinates(one) == cached_coordinates(two)
+        _, misses_before = coordinate_cache_stats()
+        cached_coordinates(two)
+        _, misses_after = coordinate_cache_stats()
+        assert misses_after == misses_before  # same object: cache hit

@@ -1,0 +1,104 @@
+"""Properties of the Wilson score interval the stopping rule relies on.
+
+The sequential sampler retires a fault the moment its interval
+half-width crosses the target, so the interval must (a) always contain
+the point estimate, (b) tighten monotonically as trials grow for a
+fixed success fraction, and (c) pin the 0/n and n/n edges exactly —
+otherwise an undetectable fault would never report a closed interval.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sampling.wilson import WilsonInterval, wilson_interval, z_score
+
+TRIALS = st.integers(min_value=1, max_value=100_000)
+CONFIDENCE = st.floats(min_value=0.5, max_value=0.999)
+
+
+@st.composite
+def tallies(draw):
+    n = draw(TRIALS)
+    k = draw(st.integers(min_value=0, max_value=n))
+    return k, n
+
+
+class TestShape:
+    @given(tallies(), CONFIDENCE)
+    def test_bounds_are_an_ordered_subrange_of_unit(self, tally, confidence):
+        k, n = tally
+        w = wilson_interval(k, n, confidence)
+        assert 0.0 <= w.low <= w.high <= 1.0
+
+    @given(tallies(), CONFIDENCE)
+    def test_contains_the_point_estimate(self, tally, confidence):
+        k, n = tally
+        w = wilson_interval(k, n, confidence)
+        assert w.contains(w.estimate)
+        assert w.estimate == k / n
+
+    @given(TRIALS, CONFIDENCE)
+    def test_edges_are_exact(self, n, confidence):
+        assert wilson_interval(0, n, confidence).low == 0.0
+        assert wilson_interval(n, n, confidence).high == 1.0
+
+    @given(CONFIDENCE)
+    def test_zero_trials_is_the_vacuous_interval(self, confidence):
+        w = wilson_interval(0, 0, confidence)
+        assert (w.low, w.high) == (0.0, 1.0)
+        assert w.estimate == 0.0
+
+    @given(tallies())
+    def test_half_width_is_half_the_width(self, tally):
+        k, n = tally
+        w = wilson_interval(k, n)
+        assert w.half_width == pytest.approx(w.width / 2.0)
+
+
+class TestMonotonicity:
+    @given(tallies(), st.integers(min_value=2, max_value=64))
+    def test_width_shrinks_as_trials_grow_at_fixed_fraction(
+        self, tally, factor
+    ):
+        """Scaling (k, n) by an integer factor keeps p̂ and must tighten
+        the interval — the property that makes 'keep sampling until the
+        interval is narrow enough' a terminating rule."""
+        k, n = tally
+        small = wilson_interval(k, n)
+        large = wilson_interval(k * factor, n * factor)
+        assert large.width < small.width
+
+    @given(tallies())
+    def test_higher_confidence_is_never_narrower(self, tally):
+        k, n = tally
+        assert (
+            wilson_interval(k, n, 0.99).width
+            >= wilson_interval(k, n, 0.90).width
+        )
+
+
+class TestValidation:
+    def test_negative_trials_raises(self):
+        with pytest.raises(ValueError):
+            wilson_interval(0, -1)
+
+    @pytest.mark.parametrize("successes", [-1, 11])
+    def test_successes_outside_trials_raises(self, successes):
+        with pytest.raises(ValueError):
+            wilson_interval(successes, 10)
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0, -0.5, 2.0])
+    def test_degenerate_confidence_raises(self, confidence):
+        with pytest.raises(ValueError):
+            z_score(confidence)
+
+    def test_z_score_of_nominal_confidence(self):
+        assert z_score(0.95) == pytest.approx(1.959963985, abs=1e-6)
+
+    def test_interval_is_a_frozen_record(self):
+        w = wilson_interval(3, 16)
+        assert isinstance(w, WilsonInterval)
+        with pytest.raises(AttributeError):
+            w.low = 0.5

@@ -115,11 +115,14 @@ def test_each_defect_documents_itself(defect):
     assert defect.description
     # report-corruption defects carry `corrupt`; kernel defects carry a
     # defective engine factory; substrate defects (e.g. a sabotaged
-    # reordering swap) carry a reports factory instead
+    # reordering swap) carry a reports factory; sampled-mode defects
+    # (a biased stratifier, a misaccounted budget) carry a violations
+    # factory that runs the sampled oracle battery directly
     assert (
         callable(defect.corrupt)
         or callable(defect.engine_factory)
         or callable(defect.reports_factory)
+        or callable(defect.violations_factory)
     )
 
 

@@ -1,0 +1,248 @@
+"""The sampled-mode oracle battery: every corruption class is caught.
+
+Mirrors ``test_verify_oracles.py`` for the statistical mode: an honest
+sampled campaign passes every consistency oracle, and each deliberate
+corruption — broken bounds, misaccounted budgets, illegal stopping,
+dropped strata — is caught by the oracle built for it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.benchcircuits import get_circuit
+from repro.experiments.campaigns import (
+    CampaignResult,
+    clear_campaign_caches,
+    stuck_at_campaign,
+)
+from repro.experiments.config import get_scale
+from repro.sampling.engine import SampledSettings
+from repro.sampling.wilson import wilson_interval
+from repro.verify.sampled import (
+    check_sampled_campaign,
+    run_sampled_conformance,
+    sampled_record_violations,
+    stratum_coverage_violations,
+)
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return get_scale("ci")
+
+
+@pytest.fixture(scope="module")
+def settings(scale):
+    return SampledSettings.from_scale(scale)
+
+
+@pytest.fixture(scope="module")
+def campaign(scale):
+    clear_campaign_caches()
+    result = stuck_at_campaign("c17", scale, mode="sampled")
+    yield result
+    clear_campaign_caches()
+
+
+def _synthetic(record, detections, trials, spent=None):
+    """A record whose interval honestly matches (detections, trials)
+    but whose ``patterns_spent`` claims whatever the test needs."""
+    interval = wilson_interval(detections, trials)
+    return dataclasses.replace(
+        record,
+        detectability=Fraction(detections, trials),
+        ci_low=interval.low,
+        ci_high=interval.high,
+        patterns_spent=spent if spent is not None else trials,
+    )
+
+
+class TestHonestCampaign:
+    def test_passes_every_oracle(self, campaign, settings):
+        assert check_sampled_campaign(campaign, settings) == []
+
+    def test_record_oracles_pass_individually(self, campaign, settings):
+        for record in campaign.results:
+            assert (
+                sampled_record_violations(
+                    campaign.circuit, record, settings
+                )
+                == []
+            )
+
+    def test_stratum_plan_is_honored(self, campaign):
+        assert stratum_coverage_violations(campaign) == []
+
+    def test_planless_campaign_is_not_flagged(self, campaign):
+        bare = dataclasses.replace(campaign, strata=())
+        assert stratum_coverage_violations(bare) == []
+
+
+class TestRecordOracles:
+    def test_missing_interval_fields(self, campaign, settings):
+        record = dataclasses.replace(campaign.results[0], ci_low=None)
+        violations = sampled_record_violations(
+            campaign.circuit, record, settings
+        )
+        assert [v.oracle for v in violations] == ["ci-missing"]
+
+    def test_bounds_outside_unit_range(self, campaign, settings):
+        record = dataclasses.replace(
+            campaign.results[0], ci_low=-0.25, ci_high=1.5
+        )
+        violations = sampled_record_violations(
+            campaign.circuit, record, settings
+        )
+        assert "ci-bounds-range" in {v.oracle for v in violations}
+
+    def test_estimate_escaping_its_interval(self, campaign, settings):
+        victim = next(
+            r for r in campaign.results if 0 < r.detectability < 1
+        )
+        record = dataclasses.replace(
+            victim,
+            ci_low=float(victim.detectability) + 0.2,
+            ci_high=min(1.0, float(victim.detectability) + 0.3),
+        )
+        violations = sampled_record_violations(
+            campaign.circuit, record, settings
+        )
+        assert "ci-containment" in {v.oracle for v in violations}
+
+    def test_misaccounted_budget_breaks_integrality(self, campaign, settings):
+        """Off-by-one patterns_spent makes δ·spent non-integral — the
+        signature the ``off-by-one-pattern-budget`` seeded defect has."""
+        victim = next(
+            r for r in campaign.results if 0 < r.detectability < 1
+        )
+        record = dataclasses.replace(
+            victim, patterns_spent=victim.patterns_spent + 1
+        )
+        violations = sampled_record_violations(
+            campaign.circuit, record, settings
+        )
+        assert "ci-consistency" in {v.oracle for v in violations}
+
+    def test_drifted_bounds_fail_wilson_recomputation(
+        self, campaign, settings
+    ):
+        victim = campaign.results[0]
+        record = dataclasses.replace(victim, ci_high=victim.ci_high + 1e-6)
+        violations = sampled_record_violations(
+            campaign.circuit, record, settings
+        )
+        assert "ci-consistency" in {v.oracle for v in violations}
+
+    def test_illegal_round_boundary(self, campaign, settings):
+        record = _synthetic(campaign.results[0], 10, 300)
+        violations = sampled_record_violations(
+            campaign.circuit, record, settings
+        )
+        oracles = {v.oracle for v in violations}
+        assert "stopping-rule" in oracles
+        assert "ci-consistency" not in oracles  # the tally itself is honest
+
+    def test_budget_overrun(self, campaign, settings):
+        over = settings.pattern_budget * 2
+        record = _synthetic(campaign.results[0], 0, over)
+        violations = sampled_record_violations(
+            campaign.circuit, record, settings
+        )
+        messages = [
+            v.message for v in violations if v.oracle == "stopping-rule"
+        ]
+        assert any("exceeds the budget" in m for m in messages)
+
+    def test_early_stop_with_a_loose_interval(self, campaign, settings):
+        """128/256 has a ~0.061 half-width — stopping there with budget
+        remaining violates the sequential rule."""
+        interval = wilson_interval(128, 256)
+        assert interval.half_width > settings.ci_width
+        record = _synthetic(campaign.results[0], 128, 256)
+        violations = sampled_record_violations(
+            campaign.circuit, record, settings
+        )
+        messages = [
+            v.message for v in violations if v.oracle == "stopping-rule"
+        ]
+        assert any("still above" in m for m in messages)
+
+
+class TestStratumCoverage:
+    def test_dropped_stratum_is_caught(self, campaign):
+        victim = campaign.strata[0].name
+        pruned = dataclasses.replace(
+            campaign,
+            results=tuple(
+                r for r in campaign.results if r.stratum != victim
+            ),
+            strata=campaign.strata,
+        )
+        violations = stratum_coverage_violations(pruned)
+        assert violations
+        assert {v.oracle for v in violations} == {"stratum-coverage"}
+        assert any(victim == v.fault for v in violations)
+
+    def test_invented_stratum_is_caught(self, campaign):
+        relabeled = dataclasses.replace(
+            campaign,
+            results=(
+                dataclasses.replace(
+                    campaign.results[0], stratum="stuck-imaginary/fo9"
+                ),
+            )
+            + campaign.results[1:],
+            strata=campaign.strata,
+        )
+        violations = stratum_coverage_violations(relabeled)
+        assert any(
+            "absent from the plan" in v.message for v in violations
+        )
+
+
+class TestCampaignLevel:
+    def test_exactness_lie_is_caught(self, campaign, settings):
+        liar = CampaignResult(
+            circuit=campaign.circuit,
+            results=campaign.results,
+            exact=True,
+            chunk_stats=campaign.chunk_stats,
+            strata=campaign.strata,
+        )
+        violations = check_sampled_campaign(liar, settings)
+        assert "sampled-exactness" in {v.oracle for v in violations}
+
+    def test_conformance_sweep_is_clean(self, scale):
+        clear_campaign_caches()
+        report = run_sampled_conformance(circuits=("c17",), scale=scale)
+        assert report.ok, report.render()
+        assert len(report.cells) == 3  # stuck-at + both bridge kinds
+        assert all(cell.patterns_spent > 0 for cell in report.cells)
+        rendered = report.render()
+        assert "all sampled invariants hold" in rendered
+        clear_campaign_caches()
+
+
+class TestSeededDefects:
+    def test_new_defects_are_rostered_and_caught(self):
+        from repro.verify.seeded import DEFECTS, run_seeded_self_check
+
+        names = {defect.name for defect in DEFECTS}
+        assert {
+            "biased-stratum-sampler",
+            "off-by-one-pattern-budget",
+        } <= names
+        report = run_seeded_self_check()
+        assert report.ok, report.render()
+        fired = {
+            outcome.defect.name: set(outcome.oracles_fired)
+            for outcome in report.outcomes
+        }
+        assert "stratum-coverage" in fired["biased-stratum-sampler"]
+        assert "ci-consistency" in fired["off-by-one-pattern-budget"]
