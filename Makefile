@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-all test-parallel test-gc verify verify-full sampled coverage bench bench-parallel bench-gc bench-obs bench-sifting bench-sampling experiments experiments-paper trace-demo flamegraph perf-record perf-check perf-report examples clean
+.PHONY: install test test-all test-parallel test-gc verify verify-full sampled coverage bench bench-parallel bench-gc bench-obs bench-observatory bench-sifting bench-sampling experiments experiments-paper trace-demo flamegraph perf-record perf-check perf-report dashboard examples clean
 
 # line-coverage floor enforced on the core engine, the verify layer and
 # the simulation engines (including the bit-parallel kernel)
@@ -57,6 +57,9 @@ bench-gc:
 bench-obs:
 	$(PYTHON) -m pytest benchmarks/test_bench_obs.py --benchmark-only
 
+bench-observatory:
+	$(PYTHON) -m pytest benchmarks/test_bench_observatory.py --benchmark-only
+
 # Fast C432 arm only; add -m "" for the slow C1908 acceptance run.
 bench-sifting:
 	$(PYTHON) -m pytest benchmarks/test_bench_sifting.py --benchmark-only
@@ -94,6 +97,12 @@ perf-check:
 
 perf-report:
 	$(PYTHON) -m repro.obs perf report
+
+# cross-run HTML dashboard over results/: ledger index, perf
+# trajectories, bench artifacts, hotspots, resource curves — one
+# self-contained file at results/dashboard.html
+dashboard:
+	$(PYTHON) -m repro.obs dashboard
 
 examples:
 	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done

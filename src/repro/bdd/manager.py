@@ -37,6 +37,7 @@ The manager works on raw integer handles for speed; the friendlier
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Iterable, Iterator, Sequence
@@ -46,6 +47,7 @@ from repro.bdd.cache import (
     ManagerStats,
     OperationCache,
 )
+from repro.obs import resource as _resource
 from repro.obs.trace import span as _span
 from repro.bdd.cache import (
     OP_AND as _OP_AND,
@@ -159,6 +161,7 @@ class BDDManager:
         self._last_reorder: ReorderStats | None = None
         for name in variables:
             self.add_var(name)
+        _MANAGERS.add(self)
 
     # ------------------------------------------------------------------
     # Variables
@@ -1244,3 +1247,34 @@ class BDDManager:
     def clear_caches(self) -> None:
         """Drop the computed table (node store and unique table are kept)."""
         self._cache.clear()
+
+
+# ----------------------------------------------------------------------
+# Resource-sampler probe
+# ----------------------------------------------------------------------
+#: Every manager alive in this process, for the obs resource sampler.
+#: Weak references: registration must never keep a retired campaign's
+#: node store alive.
+_MANAGERS: "weakref.WeakSet[BDDManager]" = weakref.WeakSet()
+
+
+def _resource_probe() -> dict[str, int]:
+    """Aggregate node/cache footprint across every live manager.
+
+    Runs on the sampler's daemon thread, so it only reads O(1)
+    attributes per manager — never ``stats()`` (which walks per-op
+    cache tables) and never anything that mutates.
+    """
+    live = allocated = cache_entries = 0
+    for manager in list(_MANAGERS):
+        live += manager.num_live_nodes
+        allocated += manager.num_allocated_nodes
+        cache_entries += len(manager._cache)
+    return {
+        "live_nodes": live,
+        "allocated_nodes": allocated,
+        "cache_entries": cache_entries,
+    }
+
+
+_resource.register_probe("bdd", _resource_probe)

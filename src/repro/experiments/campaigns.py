@@ -14,6 +14,7 @@ produce bit-identical :class:`CampaignResult`\\ s.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import random
 import time
@@ -211,6 +212,16 @@ class CampaignResult:
     #: per stratum); empty on exact campaigns. compare=False: the plan
     #: is derived from the fault list, not part of result identity.
     strata: tuple = field(default=(), compare=False)
+    #: True when this result was served from the run ledger instead of
+    #: computed — such a result has empty ``chunk_stats`` (no work was
+    #: done) and reports ``campaign.cache_hit = 1`` in :meth:`metrics`.
+    #: compare=False: a served result *equals* the computed one.
+    from_cache: bool = field(default=False, compare=False)
+    #: resource time-series sampled while the campaign ran (empty when
+    #: ``$REPRO_RESOURCE`` is off or the result came from the ledger)
+    resources: obs.ResourceSeries = field(
+        default=obs.EMPTY_SERIES, compare=False
+    )
 
     def detectabilities(self) -> list[Fraction]:
         return [r.detectability for r in self.results]
@@ -228,6 +239,7 @@ class CampaignResult:
         )
         registry.counter("campaign.results").inc(len(self.results))
         registry.counter("campaign.detectable").inc(len(self.detectable()))
+        registry.counter("campaign.cache_hit").inc(int(self.from_cache))
         return registry
 
     def total_seconds(self) -> float:
@@ -414,8 +426,6 @@ def _attach_strata(result: CampaignResult, sample) -> CampaignResult:
     labels from the same :class:`~repro.sampling.strata
     .StratifiedSample` — scheduling can never perturb them.
     """
-    import dataclasses
-
     labeled = tuple(
         dataclasses.replace(record, stratum=label)
         for record, label in zip(result.results, sample.labels)
@@ -437,10 +447,19 @@ def stuck_at_campaign(
     the cache is shared between serial and parallel runs because their
     results are identical.
     """
+    from repro.experiments import runcache
+
     routing = _resolve_routing(scale, engine, mode)
     key = (name, scale.name, routing)
     if key in _stuck_cache:
         return _stuck_cache[key]
+    projection = None
+    if runcache.cache_enabled(scale):
+        projection = runcache.stuck_at_projection(name, scale, routing)
+        served = runcache.fetch(projection)
+        if served is not None:
+            _stuck_cache[key] = served
+            return served
     circuit = get_circuit(name)
     faults: Sequence[Fault] = collapsed_checkpoint_faults(circuit)
     limit = scale.stuck_at_limit(name)
@@ -456,6 +475,8 @@ def stuck_at_campaign(
     result = _dispatch(circuit, name, scale, faults, False, workers, routing)
     if sample is not None:
         result = _attach_strata(result, sample)
+    if projection is not None:
+        runcache.record(projection, result)
     _stuck_cache[key] = result
     return result
 
@@ -475,10 +496,19 @@ def bridging_campaign(
     mode draws through the stratified sampler, which applies the same
     distance weighting inside the bridge stratum.
     """
+    from repro.experiments import runcache
+
     routing = _resolve_routing(scale, engine, mode)
     key = (name, kind.value, scale.name, routing)
     if key in _bridge_cache:
         return _bridge_cache[key]
+    projection = None
+    if runcache.cache_enabled(scale):
+        projection = runcache.bridging_projection(name, kind, scale, routing)
+        served = runcache.fetch(projection)
+        if served is not None:
+            _bridge_cache[key] = served
+            return served
     circuit = get_circuit(name)
     candidates = list(enumerate_nfbfs(circuit, kind))
     target = scale.bridging_target(name)
@@ -500,6 +530,8 @@ def bridging_campaign(
     result = _dispatch(circuit, name, scale, faults, True, workers, routing)
     if sample is not None:
         result = _attach_strata(result, sample)
+    if projection is not None:
+        runcache.record(projection, result)
     _bridge_cache[key] = result
     return result
 
@@ -525,6 +557,7 @@ def _dispatch(
         # plenty of per-shard work, and substream-seeded patterns make
         # any sharding bit-identical.
         n_workers = 1
+    sampler = obs.resource_sampler()
     with obs.span(
         "campaign.run",
         circuit=name,
@@ -534,17 +567,25 @@ def _dispatch(
         workers=n_workers,
         engine=engine,
     ):
-        if n_workers > 1:
-            return parallel.run_campaign(
-                circuit,
-                name,
-                scale,
-                faults,
-                bridging=bridging,
-                n_workers=n_workers,
-                engine=engine,
-            )
-        return _run(circuit, name, scale, faults, bridging, engine)
+        sampler.start()
+        try:
+            if n_workers > 1:
+                result = parallel.run_campaign(
+                    circuit,
+                    name,
+                    scale,
+                    faults,
+                    bridging=bridging,
+                    n_workers=n_workers,
+                    engine=engine,
+                )
+            else:
+                result = _run(circuit, name, scale, faults, bridging, engine)
+        finally:
+            series = sampler.stop()
+    if series:
+        result = dataclasses.replace(result, resources=series)
+    return result
 
 
 def analyze_faults(

@@ -89,6 +89,20 @@ def main(argv: list[str] | None = None) -> int:
         "(default: $REPRO_CI_WIDTH or 0.05)",
     )
     parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="consult/record the content-addressed run ledger "
+        "(results/ledger/) so byte-identical re-runs are served without "
+        "any fault simulation (same as REPRO_CACHE=1)",
+    )
+    parser.add_argument(
+        "--resource",
+        action="store_true",
+        help="sample RSS and BDD-node time-series while campaigns run "
+        "(same as REPRO_RESOURCE=1); series land in the per-experiment "
+        "JSON manifests",
+    )
+    parser.add_argument(
         "--reorder",
         action="store_true",
         help="dynamic OBDD variable reordering (Rudell sifting) in the "
@@ -167,6 +181,15 @@ def main(argv: list[str] | None = None) -> int:
         # Propagate through the environment too: pool workers build
         # their own engines and consult $REPRO_REORDER directly.
         os.environ["REPRO_REORDER"] = "1"
+    if args.cache:
+        scale = dataclasses.replace(scale, cache=True)
+        # Keep an explicit ledger path from $REPRO_CACHE if one is set.
+        os.environ.setdefault("REPRO_CACHE", "1")
+    if args.resource:
+        from repro.obs import resource as resource_mod
+
+        os.environ.setdefault("REPRO_RESOURCE", "1")
+        resource_mod.enable_resource()
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
@@ -210,17 +233,23 @@ def main(argv: list[str] | None = None) -> int:
     ]
     for name in names:
         start = time.time()
-        with obs.span("experiment", experiment=name, scale=scale.name):
-            try:
-                result = ALL_EXPERIMENTS[name](scale)
-            except Exception as exc:  # surface which experiment broke
-                failures += 1
-                print(f"\n== {name}: FAILED ({exc!r}) ==", file=sys.stderr)
-                log.error("%s failed: %r", name, exc)
-                report.extend(
-                    ["", f"## {name}", "", f"**FAILED**: `{exc!r}`"]
-                )
-                continue
+        sampler = obs.resource_sampler().start()
+        try:
+            with obs.span("experiment", experiment=name, scale=scale.name):
+                try:
+                    result = ALL_EXPERIMENTS[name](scale)
+                except Exception as exc:  # surface which experiment broke
+                    failures += 1
+                    print(
+                        f"\n== {name}: FAILED ({exc!r}) ==", file=sys.stderr
+                    )
+                    log.error("%s failed: %r", name, exc)
+                    report.extend(
+                        ["", f"## {name}", "", f"**FAILED**: `{exc!r}`"]
+                    )
+                    continue
+        finally:
+            resources = sampler.stop()
         elapsed = time.time() - start
         rendered = result.render()
         print(f"\n{rendered}")
@@ -229,7 +258,7 @@ def main(argv: list[str] | None = None) -> int:
             (args.out / f"{name}.txt").write_text(rendered + "\n")
         if artifact_dir is not None:
             _write_experiment_json(
-                artifact_dir, result, scale, args.workers, elapsed
+                artifact_dir, result, scale, args.workers, elapsed, resources
             )
         report.extend(
             [
@@ -273,13 +302,18 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _write_experiment_json(
-    artifact_dir: Path, result, scale, workers, elapsed: float
+    artifact_dir: Path, result, scale, workers, elapsed: float, resources=None
 ) -> Path:
     """The machine-readable sibling of one experiment's ``.txt``."""
     import json
 
+    from repro.experiments import runcache
+
     manifest = obs.RunManifest.collect(
-        scale=scale, workers=workers, wall_seconds=elapsed
+        scale=scale,
+        workers=workers,
+        wall_seconds=elapsed,
+        resources=resources.summary() if resources else None,
     )
     document = {
         "schema": "repro.experiment-result/1",
@@ -290,6 +324,8 @@ def _write_experiment_json(
         "data": obs.json_safe(result.data),
         "manifest": manifest.to_dict(),
     }
+    if runcache.cache_enabled(scale):
+        document["campaign_cache"] = runcache.cache_stats()
     path = artifact_dir / f"{result.exp_id}.json"
     path.write_text(
         json.dumps(document, indent=2, sort_keys=True) + "\n",

@@ -82,6 +82,12 @@ class Scale:
     #: sampled mode's per-fault pattern budget; ``None`` defers to
     #: ``$REPRO_PATTERN_BUDGET``, then 4096.
     pattern_budget: int | None = None
+    #: consult the content-addressed run ledger (``results/ledger/``)
+    #: before computing a campaign, and record fresh results into it.
+    #: ``None`` defers to ``$REPRO_CACHE``, then off. A ledger-served
+    #: result is equal to the computed one (exact fractions round
+    #: trip); only the execution telemetry differs.
+    cache: bool | None = None
 
     def stuck_at_limit(self, circuit: str) -> int | None:
         return self.stuck_at_samples.get(circuit)
@@ -130,6 +136,14 @@ class Scale:
         if self.pattern_budget is not None:
             return max(1, self.pattern_budget)
         return env_pattern_budget()
+
+    def effective_cache(self) -> bool:
+        """Run-ledger policy: explicit field, else ``$REPRO_CACHE``."""
+        if self.cache is not None:
+            return self.cache
+        from repro.obs.store import env_cache_enabled
+
+        return env_cache_enabled()
 
 
 def env_workers() -> int:

@@ -1,0 +1,318 @@
+"""Campaign run-cache: the ledger codec for :class:`CampaignResult`.
+
+:mod:`repro.obs.store` stores opaque JSON documents by content hash;
+this module is the campaign-shaped layer on top of it — it knows which
+manifest fields determine a campaign's result (the **projection**
+hashed into the run key), how to reduce a finished
+:class:`~repro.experiments.campaigns.CampaignResult` to an exact JSON
+body, and how to rebuild an identical result from that body.
+
+The projection deliberately includes only what changes the computed
+numbers:
+
+* circuit name, fault model (and bridge dominance), the resolved
+  routing key (``dp`` / ``bitparallel`` / ``sampled``);
+* the master seed and every scale knob that shapes the fault set or
+  the estimator (sample limits, decomposition threshold, variable
+  ordering, sampled-mode precision knobs);
+* the git SHA of the code that computed it.
+
+Worker count and reordering policy are *excluded*: both are proven
+result-neutral (``tests/test_parallel_campaigns.py``, the reorder
+oracles), so a serial run can serve a later ``--workers 8`` run and
+vice versa.
+
+Detectabilities are exact :class:`~fractions.Fraction`\\ s; they round
+trip through the ledger as ``"p/q"`` strings, so a decoded campaign is
+**equal** to the computed one — byte-identical rendered figures — not
+merely close. Execution telemetry (``chunk_stats``, resource series)
+is intentionally *not* stored: a served result did no work, and its
+``sim.*`` / ``bdd.*`` counters must say so.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Mapping, Sequence
+
+from repro.benchcircuits import get_circuit
+from repro.experiments.config import Scale
+from repro.faults.bridging import BridgeKind, BridgingFault
+from repro.faults.lines import Line
+from repro.faults.stuck_at import StuckAtFault
+from repro.obs import store as _store
+from repro.obs.logging import get_logger
+
+#: Schema of the stored campaign body (the ledger object's ``body``).
+BODY_SCHEMA = "repro.campaign-result/1"
+
+#: Schema tag inside every run-key projection, so a future projection
+#: change (new knob, new model) can never collide with old keys.
+PROJECTION_SCHEMA = "repro.run-key/1"
+
+log = get_logger("repro.experiments.runcache")
+
+_LEDGERS: dict[str, _store.RunLedger] = {}
+
+
+def cache_enabled(scale: Scale | None = None) -> bool:
+    """Whether campaigns should consult the ledger for this run."""
+    if scale is not None:
+        return scale.effective_cache()
+    return _store.env_cache_enabled()
+
+
+def ledger() -> _store.RunLedger:
+    """The process-wide ledger at the ``$REPRO_CACHE``-resolved root."""
+    root = str(_store.env_ledger_dir())
+    if root not in _LEDGERS:
+        _LEDGERS[root] = _store.RunLedger(root)
+    return _LEDGERS[root]
+
+
+def cache_stats() -> dict[str, int]:
+    """Hit/miss/corrupt/put totals over every ledger this process used."""
+    totals = {"hits": 0, "misses": 0, "corrupt": 0, "puts": 0}
+    for instance in _LEDGERS.values():
+        stats = instance.stats()
+        for name in totals:
+            totals[name] += getattr(stats, name)
+    return totals
+
+
+# ----------------------------------------------------------------------
+# Run-key projections
+# ----------------------------------------------------------------------
+def campaign_projection(
+    name: str,
+    scale: Scale,
+    routing: str,
+    model: str,
+    bridge_kind: str | None = None,
+) -> dict[str, Any]:
+    """The normalized, result-determining identity of one campaign."""
+    projection: dict[str, Any] = {
+        "schema": PROJECTION_SCHEMA,
+        "circuit": name,
+        "model": model,
+        "bridge_kind": bridge_kind,
+        "routing": routing,
+        "seed": scale.seed,
+        "stuck_at_limit": scale.stuck_at_limit(name),
+        "bridging_target": scale.bridging_target(name),
+        "decompose_threshold": scale.decompose_threshold(name),
+        "ordering": scale.ordering(name),
+        "git_sha": _store.git_sha_cached(),
+    }
+    if routing == "sampled":
+        projection["ci_width"] = scale.effective_ci_width()
+        projection["pattern_budget"] = scale.effective_pattern_budget()
+    return projection
+
+
+def stuck_at_projection(
+    name: str, scale: Scale, routing: str
+) -> dict[str, Any]:
+    return campaign_projection(name, scale, routing, model="stuck-at")
+
+
+def bridging_projection(
+    name: str, kind: BridgeKind, scale: Scale, routing: str
+) -> dict[str, Any]:
+    return campaign_projection(
+        name, scale, routing, model="bridging", bridge_kind=kind.value
+    )
+
+
+# ----------------------------------------------------------------------
+# Codec
+# ----------------------------------------------------------------------
+def _encode_fault(fault: Any) -> dict[str, Any]:
+    if isinstance(fault, StuckAtFault):
+        return {
+            "model": "stuck-at",
+            "net": fault.line.net,
+            "sink": fault.line.sink,
+            "pin": fault.line.pin,
+            "value": fault.value,
+        }
+    if isinstance(fault, BridgingFault):
+        return {
+            "model": "bridging",
+            "nets": [fault.net_a, fault.net_b],
+            "kind": fault.kind.value,
+        }
+    raise TypeError(f"no ledger codec for fault type {type(fault).__name__}")
+
+
+def _decode_fault(data: Mapping[str, Any]) -> Any:
+    model = data.get("model")
+    if model == "stuck-at":
+        return StuckAtFault(
+            line=Line(data["net"], data["sink"], data["pin"]),
+            value=bool(data["value"]),
+        )
+    if model == "bridging":
+        net_a, net_b = data["nets"]
+        return BridgingFault(net_a, net_b, BridgeKind(data["kind"]))
+    raise ValueError(f"unknown fault model {model!r} in ledger body")
+
+
+def _encode_fraction(value: Fraction) -> str:
+    return str(value)
+
+
+def _decode_fraction(text: str) -> Fraction:
+    return Fraction(text)
+
+
+def _encode_record(record: Any) -> dict[str, Any]:
+    return {
+        "fault": _encode_fault(record.fault),
+        "detectability": _encode_fraction(record.detectability),
+        "upper_bound": _encode_fraction(record.upper_bound),
+        "observable_pos": sorted(record.observable_pos),
+        "stuck_at_equivalent": record.stuck_at_equivalent,
+        "ci_low": record.ci_low,
+        "ci_high": record.ci_high,
+        "patterns_spent": record.patterns_spent,
+        "stratum": record.stratum,
+    }
+
+
+def _decode_record(data: Mapping[str, Any]) -> Any:
+    from repro.experiments.campaigns import FaultResult
+
+    return FaultResult(
+        fault=_decode_fault(data["fault"]),
+        detectability=_decode_fraction(data["detectability"]),
+        upper_bound=_decode_fraction(data["upper_bound"]),
+        observable_pos=frozenset(data["observable_pos"]),
+        stuck_at_equivalent=data.get("stuck_at_equivalent"),
+        ci_low=data.get("ci_low"),
+        ci_high=data.get("ci_high"),
+        patterns_spent=data.get("patterns_spent"),
+        stratum=data.get("stratum"),
+    )
+
+
+def encode_result(name: str, result: Any) -> dict[str, Any]:
+    """A finished campaign as an exact, ledger-storable JSON body."""
+    return {
+        "schema": BODY_SCHEMA,
+        "circuit": name,
+        "exact": result.exact,
+        "results": [_encode_record(record) for record in result.results],
+        "strata": [
+            {
+                "name": stratum.name,
+                "population": stratum.population,
+                "allocated": stratum.allocated,
+                "sampled": stratum.sampled,
+            }
+            for stratum in result.strata
+        ],
+    }
+
+
+def decode_result(body: Mapping[str, Any]) -> Any:
+    """Rebuild a :class:`CampaignResult` equal to the one encoded.
+
+    The rebuilt result carries ``from_cache=True`` and **empty**
+    execution telemetry — zero chunks, zero ``sim.*``/``bdd.*``
+    counters — which is the truthful accounting of a run that did no
+    fault simulation.
+    """
+    from repro.experiments.campaigns import CampaignResult
+
+    if body.get("schema") != BODY_SCHEMA:
+        raise ValueError(
+            f"unexpected campaign body schema {body.get('schema')!r}"
+        )
+    strata: tuple = ()
+    if body.get("strata"):
+        from repro.sampling.strata import StratumStat
+
+        strata = tuple(
+            StratumStat(
+                name=stratum["name"],
+                population=stratum["population"],
+                allocated=stratum["allocated"],
+                sampled=stratum["sampled"],
+            )
+            for stratum in body["strata"]
+        )
+    return CampaignResult(
+        circuit=get_circuit(body["circuit"]),
+        results=tuple(
+            _decode_record(record) for record in body["results"]
+        ),
+        exact=bool(body["exact"]),
+        strata=strata,
+        from_cache=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# The consult/record pair campaigns call
+# ----------------------------------------------------------------------
+def fetch(projection: Mapping[str, Any]) -> Any | None:
+    """A cached campaign equal to what this projection would compute.
+
+    ``None`` on a miss *or* on a failed integrity/decode check — the
+    ledger never serves silently wrong data; the caller recomputes.
+    """
+    key = _store.run_key(projection)
+    body = ledger().get(key)
+    if body is None:
+        return None
+    try:
+        result = decode_result(body)
+    except Exception as exc:
+        log.warning(
+            "ledger object %s decoded to garbage (%r); recomputing", key, exc
+        )
+        return None
+    log.info(
+        "campaign %s/%s served from ledger (%d faults, key %s)",
+        projection.get("circuit"),
+        projection.get("model"),
+        len(result.results),
+        key[:12],
+    )
+    return result
+
+
+def record(
+    projection: Mapping[str, Any], result: Any
+) -> str | None:
+    """Store a freshly computed campaign; returns its run key.
+
+    Best-effort: a fault type the codec can't represent, or an
+    unwritable ledger directory, skips caching with a warning — the
+    run itself already succeeded and must not fail retroactively.
+    """
+    key = _store.run_key(projection)
+    try:
+        body = encode_result(projection["circuit"], result)
+        meta = {
+            "circuit": projection.get("circuit"),
+            "model": projection.get("model"),
+            "bridge_kind": projection.get("bridge_kind"),
+            "routing": projection.get("routing"),
+            "seed": projection.get("seed"),
+            "num_faults": len(result.results),
+            "num_detectable": len(result.detectable()),
+            "exact": result.exact,
+            "seconds": result.total_seconds(),
+        }
+        ledger().put(key, body, meta=meta)
+    except Exception as exc:
+        log.warning("could not record campaign in ledger: %r", exc)
+        return None
+    return key
+
+
+def round_trip_equal(name: str, result: Any) -> bool:
+    """Debug helper: does this result survive the codec exactly?"""
+    return decode_result(encode_result(name, result)) == result

@@ -22,6 +22,14 @@ instrument itself without cycles:
   the append-only ``results/history/<bench>.jsonl`` store.
 * :mod:`repro.obs.progress` — live campaign heartbeats behind
   ``$REPRO_PROGRESS``.
+* :mod:`repro.obs.store` — the content-addressed run ledger
+  (``results/ledger/``) behind ``$REPRO_CACHE``/``--cache``.
+* :mod:`repro.obs.resource` — background RSS/BDD-node time-series
+  sampler behind ``$REPRO_RESOURCE``.
+* :mod:`repro.obs.export` — Prometheus-text / JSONL exporters over
+  metrics snapshots and resource series.
+* :mod:`repro.obs.dashboard` — self-contained cross-run HTML report
+  (``python -m repro.obs dashboard``, ``make dashboard``).
 
 ``python -m repro.obs demo`` runs a traced C17 campaign and
 pretty-prints the span tree; ``python -m repro.obs tree FILE`` renders
@@ -36,9 +44,31 @@ from repro.obs.bench import (
     write_bench_artifact,
 )
 from repro.obs.encode import json_safe
+from repro.obs.export import (
+    jsonl_lines,
+    prometheus_lines,
+    resource_jsonl_lines,
+    resource_prometheus_lines,
+)
 from repro.obs.logging import configure_logging, get_logger
 from repro.obs.manifest import RunManifest, git_sha, numpy_version
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.resource import (
+    EMPTY_SERIES,
+    NULL_SAMPLER,
+    ResourceSampler,
+    ResourceSeries,
+    disable_resource,
+    enable_resource,
+    resource_enabled,
+    resource_sampler,
+)
+from repro.obs.store import (
+    RunLedger,
+    canonical_json,
+    env_cache_enabled,
+    run_key,
+)
 from repro.obs.progress import (
     NULL_METER,
     ProgressMeter,
@@ -65,35 +95,51 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "EMPTY_SERIES",
     "NOOP_SPAN",
     "NULL_METER",
+    "NULL_SAMPLER",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullTracer",
     "ProgressMeter",
+    "ResourceSampler",
+    "ResourceSeries",
+    "RunLedger",
     "RunManifest",
     "Span",
     "Tracer",
     "bench_artifact_path",
+    "canonical_json",
     "capture",
     "configure_logging",
     "current_location",
     "disable_progress",
+    "disable_resource",
     "disable_tracing",
     "enable_progress",
+    "enable_resource",
     "enable_tracing",
+    "env_cache_enabled",
     "env_enabled",
     "get_logger",
     "get_tracer",
     "git_sha",
     "json_safe",
+    "jsonl_lines",
     "meter",
     "numpy_version",
     "progress_enabled",
+    "prometheus_lines",
     "read_bench_artifact",
     "render_tree",
+    "resource_enabled",
+    "resource_jsonl_lines",
+    "resource_prometheus_lines",
+    "resource_sampler",
+    "run_key",
     "set_tracer",
     "span",
     "tracing_enabled",

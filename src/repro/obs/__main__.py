@@ -10,6 +10,9 @@
     python -m repro.obs perf record          # append BENCH_* → history/
     python -m repro.obs perf check           # nonzero exit on regression
     python -m repro.obs perf report          # markdown trajectory dashboard
+    python -m repro.obs dashboard            # results/ → dashboard.html
+    python -m repro.obs export --format prometheus BENCH_fig2.json
+    python -m repro.obs ledger verify        # re-hash every ledger object
 
 ``demo`` backs ``make trace-demo``: it enables tracing, runs one
 stuck-at campaign, writes the JSONL trace and a run manifest under
@@ -22,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -149,6 +153,62 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from repro.obs import dashboard as dashboard_mod
+
+    out = dashboard_mod.write_dashboard(args.results, args.out)
+    print(f"dashboard written to {out}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.obs.bench import read_bench_artifact
+    from repro.obs.export import export_artifact_metrics, write_lines
+
+    try:
+        document = read_bench_artifact(args.artifact)
+    except (OSError, ValueError) as exc:
+        print(f"{args.artifact}: {exc}", file=sys.stderr)
+        return 1
+    lines = export_artifact_metrics(document, fmt=args.format)
+    if args.out is not None:
+        path = write_lines(lines, args.out)
+        print(f"{len(lines)} lines written to {path}")
+    else:
+        try:
+            for line in lines:
+                print(line)
+        except BrokenPipeError:
+            # downstream consumer (head, grep -m) closed the pipe early
+            os.close(sys.stdout.fileno())
+    return 0
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    from repro.obs.store import RunLedger
+
+    ledger = RunLedger(args.root)
+    if args.ledger_command == "verify":
+        findings = ledger.verify()
+        bad = 0
+        for key, status in findings:
+            print(f"{status:8s} {key}")
+            bad += status != "ok"
+        print(f"{len(findings)} objects, {bad} not ok")
+        return 1 if bad else 0
+    # list
+    for entry in ledger.entries():
+        meta = entry.get("meta", {})
+        print(
+            f"{entry.get('created_utc', '?'):20s} "
+            f"{meta.get('circuit', '?'):8s} "
+            f"{meta.get('model', '?'):9s} "
+            f"{meta.get('routing', '?'):11s} "
+            f"{entry.get('key', '')[:16]}"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     configure_logging()
     parser = argparse.ArgumentParser(
@@ -201,6 +261,42 @@ def main(argv: list[str] | None = None) -> int:
         help="trajectory store (default: <results>/history)",
     )
     perf.set_defaults(func=_cmd_perf)
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="aggregate results/ into one self-contained HTML dashboard",
+    )
+    dashboard.add_argument("--results", default="results")
+    dashboard.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output file (default: <results>/dashboard.html)",
+    )
+    dashboard.set_defaults(func=_cmd_dashboard)
+
+    export = sub.add_parser(
+        "export",
+        help="emit one BENCH_*.json artifact's metrics for scrapers",
+    )
+    export.add_argument("artifact")
+    export.add_argument(
+        "--format", choices=("prometheus", "jsonl"), default="prometheus"
+    )
+    export.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write to a file instead of stdout",
+    )
+    export.set_defaults(func=_cmd_export)
+
+    ledger = sub.add_parser(
+        "ledger", help="inspect the content-addressed run ledger"
+    )
+    ledger.add_argument("ledger_command", choices=("list", "verify"))
+    ledger.add_argument("--root", default="results/ledger")
+    ledger.set_defaults(func=_cmd_ledger)
 
     args = parser.parse_args(argv)
     return args.func(args)

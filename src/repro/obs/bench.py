@@ -19,7 +19,12 @@ from typing import Any, Mapping
 from repro.obs.encode import json_safe
 from repro.obs.manifest import RunManifest
 
-SCHEMA = "repro.bench-artifact/1"
+SCHEMA = "repro.bench/1"
+
+#: Schema tags this reader accepted in the past. Kept only so the
+#: error message can say "stale artifact — regenerate" instead of
+#: "unexpected schema" for a file an old checkout wrote.
+_RETIRED_SCHEMAS = ("repro.bench-artifact/1",)
 
 
 def bench_artifact_path(results_dir: Path | str, name: str) -> Path:
@@ -56,10 +61,14 @@ def write_bench_artifact(
 def read_bench_artifact(path: Path | str) -> dict[str, Any]:
     """Load and schema-check one artifact (used by tests and CI)."""
     document = json.loads(Path(path).read_text(encoding="utf-8"))
-    if document.get("schema") != SCHEMA:
-        raise ValueError(
-            f"{path}: unexpected schema {document.get('schema')!r}"
-        )
+    schema = document.get("schema")
+    if schema != SCHEMA:
+        if schema in _RETIRED_SCHEMAS:
+            raise ValueError(
+                f"{path}: stale schema {schema!r} — regenerate the "
+                f"artifact (current: {SCHEMA!r})"
+            )
+        raise ValueError(f"{path}: unexpected schema {schema!r}")
     for key in ("name", "payload", "manifest"):
         if key not in document:
             raise ValueError(f"{path}: missing {key!r}")

@@ -19,8 +19,18 @@ from __future__ import annotations
 import logging
 import os
 import sys
+import threading
 
 LOG_ENV = "REPRO_LOG"
+
+#: Marker attribute stamped on the handler ``configure_logging``
+#: attaches. Identity checks use this instead of ``isinstance`` so
+#: idempotency survives module reloads (a reload mints a new handler
+#: *class*, and an ``isinstance`` guard would then stack a second
+#: handler on the shared root logger).
+_HANDLER_MARK = "_repro_stderr_handler"
+
+_CONFIGURE_LOCK = threading.Lock()
 
 _LEVELS = {
     "debug": logging.DEBUG,
@@ -52,18 +62,28 @@ def configure_logging(level: int | str | None = None) -> logging.Logger:
     """Attach one stderr handler to the ``repro`` root logger (idempotent).
 
     ``level`` overrides ``$REPRO_LOG``; repeated calls only adjust the
-    level, never stack handlers.
+    level, never stack handlers — even across module reloads or racing
+    threads. Any duplicate marked handlers picked up along the way
+    (e.g. attached by a reloaded copy of this module) are pruned down
+    to one.
     """
     if isinstance(level, str):
         level = _LEVELS[level.lower()]
     root = logging.getLogger("repro")
-    root.setLevel(env_level() if level is None else level)
-    if not any(
-        isinstance(handler, _DynamicStderrHandler) for handler in root.handlers
-    ):
-        handler = _DynamicStderrHandler()
-        handler.setFormatter(logging.Formatter(_FORMAT))
-        root.addHandler(handler)
+    with _CONFIGURE_LOCK:
+        root.setLevel(env_level() if level is None else level)
+        marked = [
+            handler
+            for handler in root.handlers
+            if getattr(handler, _HANDLER_MARK, False)
+        ]
+        for extra in marked[1:]:
+            root.removeHandler(extra)
+        if not marked:
+            handler = _DynamicStderrHandler()
+            setattr(handler, _HANDLER_MARK, True)
+            handler.setFormatter(logging.Formatter(_FORMAT))
+            root.addHandler(handler)
         root.propagate = False
     return root
 

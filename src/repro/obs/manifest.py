@@ -40,6 +40,8 @@ _RECORDED_ENV = (
     "REPRO_TRACE",
     "REPRO_LOG",
     "REPRO_PROGRESS",
+    "REPRO_CACHE",
+    "REPRO_RESOURCE",
     "HYPOTHESIS_PROFILE",
 )
 
@@ -107,6 +109,10 @@ class RunManifest:
     #: sampled mode's effective target CI half-width (``None`` outside
     #: sampled-mode context)
     ci_width: float | None = None
+    #: resource time-series summary for the run (the dict shape of
+    #: :meth:`repro.obs.resource.ResourceSeries.summary`; ``None`` when
+    #: ``$REPRO_RESOURCE`` was off or no series was attached)
+    resources: Mapping[str, Any] | None = None
 
     @classmethod
     def collect(
@@ -121,6 +127,7 @@ class RunManifest:
         reorder: bool | None = None,
         mode: str | None = None,
         ci_width: float | None = None,
+        resources: Mapping[str, Any] | None = None,
     ) -> "RunManifest":
         """Snapshot the current process (pass the run's ``Scale`` if any).
 
@@ -202,6 +209,7 @@ class RunManifest:
             reorder=reorder,
             mode=mode,
             ci_width=ci_width,
+            resources=resources,
         )
 
     def to_dict(self) -> dict[str, Any]:

@@ -1,0 +1,204 @@
+"""Dashboard: collection over a results tree and standalone rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import dashboard, store
+from repro.obs.bench import write_bench_artifact
+from repro.obs.manifest import RunManifest
+
+
+@pytest.fixture
+def results_tree(tmp_path):
+    """A miniature results/ tree exercising every dashboard section."""
+    results = tmp_path / "results"
+    results.mkdir()
+
+    # ledger with two recorded runs
+    ledger = store.RunLedger(results / "ledger")
+    for i, circuit in enumerate(("c17", "c432")):
+        ledger.put(
+            store.run_key({"circuit": circuit}),
+            {"schema": "x/1", "n": i},
+            meta={
+                "circuit": circuit,
+                "model": "stuck-at",
+                "routing": "dp",
+                "seed": 0,
+                "num_faults": 10 * (i + 1),
+                "num_detectable": 9,
+                "seconds": 0.25,
+            },
+        )
+
+    # a perf trajectory with two runs of one gated metric
+    history = results / "history"
+    history.mkdir()
+    entries = [
+        {
+            "schema": "repro.perf-entry/1",
+            "bench": "gc",
+            "recorded_utc": f"2026-08-0{d}T00:00:00Z",
+            "metrics": {"campaign_wall_seconds": 2.0 + d, "faults": 464},
+            "key": {"scale": "ci", "engine": "dp", "seed": 0},
+            "provenance": {"git_sha": f"sha{d}000000"},
+        }
+        for d in (1, 2)
+    ]
+    (history / "gc.jsonl").write_text(
+        "".join(json.dumps(entry) + "\n" for entry in entries)
+    )
+
+    # one bench artifact
+    write_bench_artifact(
+        results,
+        "observatory",
+        {"wall_seconds": 1.5, "overhead_pct": 0.4},
+        manifest=RunManifest.collect(),
+    )
+
+    # one experiment JSON carrying a resource series
+    (results / "fig2.json").write_text(
+        json.dumps(
+            {
+                "schema": "repro.experiment-result/1",
+                "experiment": "fig2",
+                "manifest": {
+                    "resources": {
+                        "schema": "repro.resource-series/1",
+                        "interval": 0.05,
+                        "samples": [
+                            {"t": 0.0, "rss_bytes": 1000},
+                            {"t": 0.05, "rss_bytes": 2000},
+                            {"t": 0.1, "rss_bytes": 1800},
+                        ],
+                    }
+                },
+            }
+        )
+    )
+
+    # one span trace for the hotspot section
+    spans = [
+        {
+            "name": "campaign.run",
+            "id": "a",
+            "parent": None,
+            "start": 0.0,
+            "dur": 1.0,
+            "status": "ok",
+        },
+        {
+            "name": "dp.compute_test_set",
+            "id": "b",
+            "parent": "a",
+            "start": 0.1,
+            "dur": 0.8,
+            "status": "ok",
+        },
+    ]
+    (results / "trace_demo.jsonl").write_text(
+        "".join(json.dumps(span) + "\n" for span in spans)
+    )
+    return results
+
+
+def test_collect_gathers_every_section(results_tree):
+    data = dashboard.collect(results_tree)
+    assert len(data["ledger"]) == 2
+    assert data["ledger"][0]["status"] == "ok"
+    assert data["ledger"][0]["meta"]["circuit"] == "c17"
+    assert set(data["trajectories"]) == {"gc"}
+    assert len(data["trajectories"]["gc"]) == 2
+    assert [bench["name"] for bench in data["benches"]] == ["observatory"]
+    assert data["benches"][0]["metrics"]["wall_seconds"] == 1.5
+    assert len(data["resources"]) == 1
+    assert data["resources"][0]["label"] == "fig2"
+    assert len(data["hotspots"]) == 1
+    assert data["hotspots"][0]["spans"] == 2
+
+
+def test_render_full_tree_is_standalone_html(results_tree):
+    text = dashboard.render_html(dashboard.collect(results_tree))
+    assert text.startswith("<!DOCTYPE html>")
+    assert text.rstrip().endswith("</html>")
+    # self-contained: no external fetches of any kind
+    assert "http://" not in text and "https://" not in text
+    assert "<link" not in text and 'src="' not in text
+    # every populated section rendered its data
+    assert "c432" in text and "stuck-at" in text
+    assert "campaign_wall_seconds" in text
+    assert "observatory" in text
+    assert "rss_bytes" in text
+    assert "dp.compute_test_set" in text
+    # charts carry the hover payload, and dark mode is declared
+    assert "data-pts=" in text
+    assert "prefers-color-scheme: dark" in text
+
+
+def test_render_empty_tree_degrades_to_notes(tmp_path):
+    empty = tmp_path / "results"
+    empty.mkdir()
+    text = dashboard.render_html(dashboard.collect(empty))
+    assert text.startswith("<!DOCTYPE html>")
+    for section in (
+        "Run ledger",
+        "Perf trajectories",
+        "Resource curves",
+        "Benchmark artifacts",
+        "Span hotspots",
+    ):
+        assert section in text
+    assert text.count('class="empty"') >= 4
+
+
+def test_corrupt_ledger_object_is_surfaced(results_tree):
+    ledger = store.RunLedger(results_tree / "ledger")
+    key = ledger.keys()[0]
+    path = ledger.object_path(key)
+    path.write_text(path.read_text().replace('"n": 0', '"n": 7'))
+    data = dashboard.collect(results_tree)
+    statuses = {entry["key"]: entry["status"] for entry in data["ledger"]}
+    assert statuses[key] == "corrupt"
+    text = dashboard.render_html(data)
+    assert "corrupt" in text
+
+
+def test_write_dashboard_and_cli(results_tree, tmp_path, capsys):
+    out = dashboard.write_dashboard(results_tree)
+    assert out == results_tree / "dashboard.html"
+    assert out.read_text().startswith("<!DOCTYPE html>")
+
+    from repro.obs.__main__ import main
+
+    explicit = tmp_path / "report.html"
+    code = main(
+        ["dashboard", "--results", str(results_tree), "--out", str(explicit)]
+    )
+    assert code == 0
+    assert explicit.exists()
+    assert str(explicit) in capsys.readouterr().out
+
+
+def test_line_chart_geometry():
+    svg = dashboard._line_chart(
+        [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)], x_labels=["a", "b", "c"]
+    )
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    assert 'class="series"' in svg and 'class="dot"' in svg
+    assert "NaN" not in svg
+    # single-point and empty inputs must not crash
+    assert "<svg" in dashboard._line_chart([(0.0, 5.0)])
+    assert "no data" in dashboard._line_chart([])
+
+
+def test_compact_figures():
+    assert dashboard._compact(999) == "999"
+    assert dashboard._compact(1234) == "1,234"
+    assert dashboard._compact(12_900) == "12.9K"
+    assert dashboard._compact(4_200_000) == "4.2M"
+    assert dashboard._compact(2.5e9) == "2.5B"
+    assert dashboard._compact(0.123) == "0.123"

@@ -66,7 +66,7 @@ def test_gated_direction(metric, direction):
 
 def test_entry_from_artifact_projects_numeric_payload():
     document = {
-        "schema": "repro.bench-artifact/1",
+        "schema": "repro.bench/1",
         "name": "gc",
         "payload": {
             "gc_seconds": 2.5,
